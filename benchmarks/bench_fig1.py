@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 1 (accuracy vs. frozen bottom layers)."""
+
+from conftest import attach_series  # type: ignore[import-not-found]
+
+from repro.sim import experiments
+
+
+def test_fig1_accuracy_vs_frozen(benchmark):
+    """Paper Fig. 1: near-flat accuracy up to ~90% frozen layers."""
+    result = benchmark(experiments.fig1_accuracy_vs_frozen, step=10)
+    benchmark.extra_info["avg_drop_at_90pct"] = round(
+        result.average_drop_at_90pct, 4
+    )
+    # Paper: ~4.7% average degradation at layer 97.
+    assert abs(result.average_drop_at_90pct - 0.047) < 0.006
+    print()
+    print(result.to_table())

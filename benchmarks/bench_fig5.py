@@ -1,0 +1,54 @@
+"""Bench: regenerate Fig. 5 (general case, Gen vs Independent)."""
+
+from conftest import attach_series  # type: ignore[import-not-found]
+
+from repro.sim import experiments
+
+
+def _gen_beats_independent(result) -> None:
+    gen = result.mean_of("TrimCaching Gen")
+    independent = result.mean_of("Independent Caching")
+    assert gen.mean() > independent.mean()
+    assert (gen >= independent - 0.02).all()
+
+
+def test_fig5a_hit_vs_capacity(benchmark, bench_topologies, bench_scale):
+    """Fig. 5(a): rising in Q; Gen > Independent."""
+    result = benchmark.pedantic(
+        experiments.fig5a_hit_vs_capacity,
+        kwargs=dict(num_topologies=bench_topologies, seed=0, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    _gen_beats_independent(result)
+    for algo in result.series:
+        means = result.mean_of(algo)
+        assert means[-1] >= means[0] - 1e-9, algo
+
+
+def test_fig5b_hit_vs_servers(benchmark, bench_topologies, bench_scale):
+    """Fig. 5(b): rising in M; Gen > Independent."""
+    result = benchmark.pedantic(
+        experiments.fig5b_hit_vs_servers,
+        kwargs=dict(num_topologies=bench_topologies, seed=0, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    _gen_beats_independent(result)
+
+
+def test_fig5c_hit_vs_users(benchmark, bench_topologies, bench_scale):
+    """Fig. 5(c): falling in K; Gen > Independent."""
+    result = benchmark.pedantic(
+        experiments.fig5c_hit_vs_users,
+        kwargs=dict(num_topologies=bench_topologies, seed=0, scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    attach_series(benchmark, result)
+    _gen_beats_independent(result)
+    for algo in result.series:
+        means = result.mean_of(algo)
+        assert means[-1] <= means[0] + 0.03, algo

@@ -1,0 +1,59 @@
+"""Bench: raw solver micro-benchmarks on a fixed snapshot.
+
+Not a paper figure — these time the three algorithms on an identical
+instance so regressions in the hot greedy/DP paths show up directly, and
+they record how the lazy greedy scales against the naive one.
+"""
+
+import pytest
+
+from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
+from repro.core.spec import TrimCachingSpec
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+from repro.utils.units import GB
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    config = ScenarioConfig(
+        num_servers=8,
+        num_users=24,
+        num_models=30,
+        requests_per_user=15,
+        storage_bytes=int(0.12 * GB),
+    )
+    return build_scenario(config, seed=100)
+
+
+def test_solver_gen_lazy(benchmark, snapshot):
+    result = benchmark(lambda: TrimCachingGen().solve(snapshot.instance))
+    benchmark.extra_info["hit_ratio"] = round(result.hit_ratio, 4)
+    assert result.hit_ratio > 0
+
+
+def test_solver_gen_naive(benchmark, snapshot):
+    result = benchmark(
+        lambda: TrimCachingGen(accelerated=False).solve(snapshot.instance)
+    )
+    benchmark.extra_info["hit_ratio"] = round(result.hit_ratio, 4)
+    lazy = TrimCachingGen().solve(snapshot.instance)
+    assert result.hit_ratio == pytest.approx(lazy.hit_ratio, abs=1e-12)
+
+
+def test_solver_independent(benchmark, snapshot):
+    result = benchmark(lambda: IndependentCaching().solve(snapshot.instance))
+    benchmark.extra_info["hit_ratio"] = round(result.hit_ratio, 4)
+    assert result.hit_ratio > 0
+
+
+def test_solver_spec(benchmark, snapshot):
+    result = benchmark.pedantic(
+        lambda: TrimCachingSpec(epsilon=0.1).solve(snapshot.instance),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["hit_ratio"] = round(result.hit_ratio, 4)
+    gen = TrimCachingGen().solve(snapshot.instance)
+    assert result.hit_ratio >= gen.hit_ratio - 0.02

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table I (general-case library construction)."""
+
+from repro.sim import experiments
+
+
+def test_table1_library_construction(benchmark):
+    """Paper Table I: two-round fine-tuning at the full 300-model scale."""
+    result = benchmark(
+        experiments.table1_library_construction, num_models=189, seed=0
+    )
+    assert result.num_models == 189
+    assert result.num_shared_blocks > 100
+    assert result.savings_ratio > 0.3
+    benchmark.extra_info["num_shared_blocks"] = result.num_shared_blocks
+    benchmark.extra_info["savings_ratio"] = round(result.savings_ratio, 4)
+    print()
+    print(result.to_table())

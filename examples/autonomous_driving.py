@@ -1,0 +1,89 @@
+"""Autonomous-driving zone: perception models for moving vehicles.
+
+The paper's opening use case: vehicles must download perception models
+within ~1 s (3GPP TS 22.874). This example builds a roadside deployment —
+dense small cells along a corridor, vehicle-class users with tight
+deadlines — places CNN perception models with TrimCaching Gen, then
+replays two hours of vehicle mobility against the fixed placement (the
+paper's Fig. 7 methodology) to show how robust the decision stays.
+
+Run with::
+
+    python examples/autonomous_driving.py
+"""
+
+from repro import (
+    MobilityStudy,
+    ScenarioConfig,
+    TrimCachingGen,
+    TrimCachingSpec,
+    build_scenario,
+)
+from repro.network.mobility import VEHICLE
+from repro.utils.tables import format_table
+from repro.utils.units import GB
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        num_servers=8,
+        num_users=12,
+        num_models=24,
+        requests_per_user=12,
+        storage_bytes=int(0.2 * GB),
+        # Tight vehicular QoS: the whole download + on-device inference
+        # must fit in well under a second.
+        deadline_range_s=(0.5, 0.8),
+        inference_latency_range_s=(0.05, 0.1),
+    )
+    scenario = build_scenario(config, seed=7)
+    print(
+        f"Corridor deployment: {scenario.num_servers} roadside units, "
+        f"{scenario.num_users} vehicles, {scenario.num_models} perception models"
+    )
+
+    placements = {
+        "TrimCaching Spec": TrimCachingSpec(epsilon=0.1).solve(scenario.instance),
+        "TrimCaching Gen": TrimCachingGen().solve(scenario.instance),
+    }
+    for name, result in placements.items():
+        print(f"  {name}: initial hit ratio {result.hit_ratio:.3f}")
+    print()
+
+    # Replay 2 h of vehicle movement against the frozen placements,
+    # re-evaluating every 5 minutes.
+    study = MobilityStudy(
+        scenario, slot_duration_s=5.0, sample_every=60, classes=(VEHICLE,)
+    )
+    rows = []
+    traces = {}
+    for name, result in placements.items():
+        traces[name] = study.run(result.placement, horizon_s=7200.0, seed=3)
+
+    names = list(traces)
+    sample_indices = range(0, len(traces[names[0]].times_s), 4)
+    for index in sample_indices:
+        row = [float(traces[names[0]].times_s[index] / 60.0)]
+        row.extend(float(traces[name].hit_ratios[index]) for name in names)
+        rows.append(row)
+    print(
+        format_table(
+            ["time (min)"] + names,
+            rows,
+            title="Hit ratio while vehicles move (placement fixed at t=0)",
+        )
+    )
+    print()
+    for name in names:
+        print(
+            f"  {name}: degradation over 2 h = {traces[name].degradation:.1%}"
+        )
+    print(
+        "\nThe placement survives long mobility horizons, so model\n"
+        "replacement (which consumes backhaul bandwidth) can stay rare —\n"
+        "the paper's §VII-E conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""LLM delivery at the edge: LoRA adapters over a shared backbone.
+
+The paper motivates TrimCaching with PEFT: downstream LLMs share >99% of
+their parameters with the foundation model, so a server that caches the
+backbone once can serve *every* adapter almost for free. This example
+builds such a library from the synthetic ~1.2B-parameter ``NANO_LLM``
+spec, gives each edge server room for barely more than one full model,
+and shows Independent Caching collapsing while TrimCaching serves nearly
+all requests.
+
+Run with::
+
+    python examples/llm_lora_edge.py
+"""
+
+import numpy as np
+
+from repro import (
+    FineTuner,
+    IndependentCaching,
+    PlacementInstance,
+    TrimCachingGen,
+    make_transformer_root,
+)
+from repro.data.transformer import NANO_LLM
+from repro.models.popularity import ZipfPopularity
+from repro.utils.tables import format_table
+from repro.utils.units import format_size
+
+#: Downstream assistants fine-tuned from the same foundation model.
+ASSISTANTS = (
+    "code-completion",
+    "customer-support",
+    "legal-drafting",
+    "medical-triage",
+    "translation",
+    "summarisation",
+    "in-car-copilot",
+    "home-automation",
+)
+
+
+def main() -> None:
+    root = make_transformer_root(NANO_LLM)
+    tuner = FineTuner()
+    for name in ASSISTANTS:
+        tuner.lora_for_transformer(root, NANO_LLM, name=name, rank=16)
+    library = tuner.build()
+
+    stats = library.sharing_stats()
+    backbone = format_size(root.total_size_bytes)
+    print(f"Foundation model:  {NANO_LLM.name} ({backbone})")
+    print(f"Downstream models: {stats.num_models} LoRA assistants")
+    print(f"  stored independently: {format_size(stats.total_size_independent)}")
+    print(f"  stored with sharing:  {format_size(stats.total_size_deduplicated)}")
+    print(f"  savings:              {stats.savings_ratio:.1%}")
+    print()
+
+    # Two edge servers, each with capacity for ~1.1 full models. Twelve
+    # users, every assistant reachable within deadline from either server.
+    num_users, num_models = 12, library.num_models
+    demand = ZipfPopularity(exponent=0.9).probabilities(num_users, num_models, seed=1)
+    feasible = np.ones((2, num_users, num_models), dtype=bool)
+    capacity = int(library.model_size(library.model_ids[0]) * 1.1)
+    instance = PlacementInstance(
+        library, demand, feasible, [capacity, capacity]
+    )
+
+    rows = []
+    for name, solver in (
+        ("TrimCaching Gen", TrimCachingGen()),
+        ("Independent Caching", IndependentCaching()),
+    ):
+        result = solver.solve(instance)
+        per_server = [
+            len(result.placement.models_on(server)) for server in range(2)
+        ]
+        rows.append([name, result.hit_ratio, per_server[0], per_server[1]])
+    print(
+        format_table(
+            ["algorithm", "hit ratio", "models on server 0", "models on server 1"],
+            rows,
+            title=f"Each server's cache: {format_size(capacity)}",
+        )
+    )
+    print()
+    print(
+        "TrimCaching stores the backbone once per server and all adapters\n"
+        "beside it; Independent Caching pays the full model size per\n"
+        "assistant and fits a single one."
+    )
+
+
+if __name__ == "__main__":
+    main()

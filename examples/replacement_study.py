@@ -1,0 +1,91 @@
+"""When should the operator re-place models? (§IV-A trade-off.)
+
+The paper argues placement can be re-initiated "when the performance
+degrades to a certain threshold" and that Fig. 7's slow degradation means
+this is rare, saving backbone bandwidth. This example quantifies the
+trade-off: it sweeps the degradation threshold and reports, per setting,
+the time-averaged hit ratio, how many re-placements fired over two hours,
+and how many bytes the backbone had to ship.
+
+Run with::
+
+    python examples/replacement_study.py
+"""
+
+from repro import ScenarioConfig, TrimCachingGen, build_scenario
+from repro.sim.replacement import ReplacementPolicy
+from repro.utils.tables import format_table
+from repro.utils.units import GB, format_size
+
+THRESHOLDS = (0.0, 0.7, 0.85, 0.95, 1.0)
+
+
+def main() -> None:
+    scenario = build_scenario(
+        ScenarioConfig(
+            num_servers=4,
+            num_users=10,
+            num_models=15,
+            storage_bytes=int(0.15 * GB),
+        ),
+        seed=11,
+    )
+    print(
+        f"{scenario.num_servers} servers, {scenario.num_users} mobile users, "
+        f"{scenario.num_models} models; 2 h horizon, checks every minute\n"
+    )
+
+    rows = []
+    for threshold in THRESHOLDS:
+        policy = ReplacementPolicy(
+            scenario,
+            TrimCachingGen(),
+            threshold=threshold,
+            check_every=12,  # every 60 s of 5 s slots
+        )
+        trace = policy.run(horizon_s=7200.0, seed=0)
+        label = "never" if threshold == 0.0 else f"{threshold:.2f}"
+        rows.append(
+            [
+                label,
+                trace.mean_hit_ratio,
+                trace.num_replacements,
+                format_size(trace.total_bytes_shipped),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "replace when below",
+                "time-avg hit ratio",
+                "replacements in 2 h",
+                "backbone traffic",
+            ],
+            rows,
+            title="Threshold-triggered re-placement trade-off",
+        )
+    )
+    never_avg = rows[0][1]
+    aggressive_avg = rows[-1][1]
+    if aggressive_avg > never_avg + 0.01:
+        conclusion = (
+            "Aggressive re-placement buys a few points of hit ratio at the\n"
+            "price of repeated model shipping."
+        )
+    else:
+        conclusion = (
+            "Even aggressive re-placement does not beat the standing\n"
+            "placement here: a fresh decision is optimal for the instant it\n"
+            "was computed but ages just as fast, while every trigger ships\n"
+            "hundreds of megabytes over the backbone."
+        )
+    print(
+        f"\n{conclusion}\n"
+        "Either way the backbone cost grows steeply with the threshold —\n"
+        "the paper's rationale (§IV-A, Fig. 7) for solving a snapshot\n"
+        "problem and re-placing only on clear degradation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro fig4a --topologies 10
+    python -m repro fig6a
+    python -m repro table1
+    trimcaching fig7 --runs 3
+
+Every command prints the reproduced table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.sim import experiments
+
+
+def _sweep_command(fn: Callable) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        kwargs = dict(
+            num_topologies=args.topologies,
+            evaluation=args.evaluation,
+            seed=args.seed,
+        )
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        result = fn(**kwargs)
+        output = result.to_table()
+        if args.chart:
+            from repro.utils.charts import ascii_chart
+
+            output += "\n\n" + ascii_chart(
+                list(result.x_values),
+                {algo: result.mean_of(algo).tolist() for algo in result.series},
+                title=result.name,
+            )
+        if args.csv:
+            from repro.sim.serialization import experiment_to_csv
+
+            with open(args.csv, "w") as handle:
+                handle.write(experiment_to_csv(result))
+            output += f"\n(series written to {args.csv})"
+        return output
+
+    return run
+
+
+def _comparison_command(fn: Callable) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        return fn(num_topologies=args.topologies, seed=args.seed).to_table()
+
+    return run
+
+
+def _fig1(args: argparse.Namespace) -> str:
+    return experiments.fig1_accuracy_vs_frozen(step=args.step).to_table()
+
+
+def _table1(args: argparse.Namespace) -> str:
+    return experiments.table1_library_construction(
+        num_models=args.models, seed=args.seed
+    ).to_table()
+
+
+def _fig7(args: argparse.Namespace) -> str:
+    return experiments.fig7_mobility_robustness(
+        num_runs=args.runs, seed=args.seed
+    ).to_table()
+
+
+def _ablation_replacement(args: argparse.Namespace) -> str:
+    return experiments.ablation_replacement(
+        num_runs=args.runs, seed=args.seed
+    ).to_table()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="trimcaching",
+        description="Reproduce TrimCaching (ICDCS 2024) figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, topologies: int = 10) -> None:
+        p.add_argument("--topologies", type=int, default=topologies)
+        p.add_argument("--seed", type=int, default=0)
+
+    sweeps = {
+        "fig4a": experiments.fig4a_hit_vs_capacity,
+        "fig4b": experiments.fig4b_hit_vs_servers,
+        "fig4c": experiments.fig4c_hit_vs_users,
+        "fig5a": experiments.fig5a_hit_vs_capacity,
+        "fig5b": experiments.fig5b_hit_vs_servers,
+        "fig5c": experiments.fig5c_hit_vs_users,
+    }
+    for name, fn in sweeps.items():
+        p = sub.add_parser(name, help=fn.__doc__.splitlines()[0])
+        add_common(p)
+        p.add_argument(
+            "--evaluation", choices=("expected", "monte_carlo"), default="expected"
+        )
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="library/storage scale (1.0 = the paper's full setting)",
+        )
+        p.add_argument(
+            "--chart", action="store_true", help="also render an ASCII chart"
+        )
+        p.add_argument("--csv", help="write the series to this CSV file")
+        p.set_defaults(handler=_sweep_command(fn))
+
+    comparisons = {
+        "fig6a": experiments.fig6a_optimality_gap,
+        "fig6b": experiments.fig6b_runtime_general,
+        "ablation-epsilon": experiments.ablation_epsilon,
+        "ablation-lazy": experiments.ablation_lazy_greedy,
+        "ablation-order": experiments.ablation_server_order,
+        "ablation-backend": experiments.ablation_dp_backend,
+    }
+    for name, fn in comparisons.items():
+        p = sub.add_parser(name, help=fn.__doc__.splitlines()[0])
+        add_common(p, topologies=5)
+        p.set_defaults(handler=_comparison_command(fn))
+
+    p = sub.add_parser("fig1", help="Accuracy vs. frozen layers (Fig. 1).")
+    p.add_argument("--step", type=int, default=10)
+    p.set_defaults(handler=_fig1)
+
+    p = sub.add_parser("table1", help="Table I library construction.")
+    p.add_argument("--models", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_table1)
+
+    p = sub.add_parser("fig7", help="Mobility robustness (Fig. 7).")
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_fig7)
+
+    p = sub.add_parser(
+        "ablation-replacement",
+        help="Threshold-triggered re-placement trade-off (§IV-A).",
+    )
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(handler=_ablation_replacement)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,384 @@
+"""Algorithm 2 machinery: shared-block combinations and knapsack solvers.
+
+The Spec solver decomposes each per-server sub-problem **P2.1m** into:
+
+1. a traversal of *combinations of shared parameter blocks* ``N ∈ A``
+   (:func:`enumerate_shared_combinations`), and
+2. for each combination, a 0/1 knapsack over the eligible models' specific
+   blocks within the capacity left after caching ``N``.
+
+Three interchangeable knapsack backends are provided:
+
+* :func:`knapsack_value_dp` — the paper's rounded DP over utility values
+  (eq. 16/19): ``(1 - ε)``-optimal, polynomial in ``1/ε``;
+* :func:`knapsack_weight_dp` — DP over quantised weights: exact up to the
+  conservative ceiling of item sizes to the quantum;
+* :func:`knapsack_branch_and_bound` — exact, no quantisation; the ε = 0
+  reference used by the Fig. 6 optimality study and the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.models.library import ModelLibrary
+
+
+# ----------------------------------------------------------------------
+# Shared-block combination enumeration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedCombination:
+    """One element ``N`` of the combination set ``A``.
+
+    Attributes
+    ----------
+    blocks:
+        The shared block ids cached by this combination.
+    size_bytes:
+        ``d_N``: total size of those blocks.
+    """
+
+    blocks: FrozenSet[int]
+    size_bytes: int
+
+
+def _distinct_shared_sets(library: ModelLibrary) -> List[FrozenSet[int]]:
+    """Distinct non-empty per-model shared-block sets."""
+    seen: Set[FrozenSet[int]] = set()
+    for model_id in library.model_ids:
+        shared = library.shared_blocks_of(model_id)
+        if shared:
+            seen.add(shared)
+    return sorted(seen, key=lambda s: (len(s), sorted(s)))
+
+
+def _group_nested_chains(
+    shared_sets: Sequence[FrozenSet[int]],
+) -> List[List[FrozenSet[int]]]:
+    """Group shared sets into families of pairwise-overlapping sets.
+
+    For layer-freezing libraries every family is a chain of nested
+    prefixes of one root; the caller verifies nestedness.
+    """
+    parent = list(range(len(shared_sets)))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for a, b in itertools.combinations(range(len(shared_sets)), 2):
+        if shared_sets[a] & shared_sets[b]:
+            union(a, b)
+    groups: Dict[int, List[FrozenSet[int]]] = {}
+    for index, shared in enumerate(shared_sets):
+        groups.setdefault(find(index), []).append(shared)
+    return [sorted(members, key=len) for members in groups.values()]
+
+
+def _chains_are_nested(chain: Sequence[FrozenSet[int]]) -> bool:
+    """Is ``chain`` (sorted by size) totally ordered by inclusion?"""
+    for smaller, larger in zip(chain, chain[1:]):
+        if not smaller <= larger:
+            return False
+    return True
+
+
+def enumerate_shared_combinations(
+    library: ModelLibrary,
+    mode: str = "auto",
+    max_combinations: int = 1_000_000,
+) -> List[SharedCombination]:
+    """Build the combination set ``A`` for Algorithm 2.
+
+    Modes
+    -----
+    ``"exhaustive"``
+        Every subset of the shared blocks — the paper's literal ``2^β``;
+        only viable for tiny block counts (tests).
+    ``"prefix"``
+        Exploits the structure fine-tuning creates: per-model shared sets
+        form nested chains (one per root/family), and a union of
+        non-maximal prefixes of the *same* chain is never preferable, so
+        ``A`` is the product over chains of (no prefix | one of its
+        distinct prefixes). Raises :class:`SolverError` if the library's
+        shared sets are not chain-structured.
+    ``"auto"``
+        ``"prefix"`` when the library is chain-structured, otherwise
+        ``"exhaustive"``.
+
+    Raises
+    ------
+    SolverError
+        If the resulting ``A`` would exceed ``max_combinations``.
+    """
+    if mode not in ("auto", "prefix", "exhaustive"):
+        raise SolverError(f"unknown combination mode {mode!r}")
+    shared = sorted(library.shared_block_ids)
+    if not shared:
+        return [SharedCombination(frozenset(), 0)]
+
+    def sized(blocks: FrozenSet[int]) -> SharedCombination:
+        return SharedCombination(blocks, library.blocks_size(blocks))
+
+    if mode in ("auto", "prefix"):
+        shared_sets = _distinct_shared_sets(library)
+        chains = _group_nested_chains(shared_sets)
+        nested = all(_chains_are_nested(chain) for chain in chains)
+        if not nested and mode == "prefix":
+            raise SolverError(
+                "library's shared blocks are not chain-structured; "
+                "use mode='exhaustive'"
+            )
+        if nested:
+            count = 1
+            for chain in chains:
+                count *= len(chain) + 1
+                if count > max_combinations:
+                    raise SolverError(
+                        f"combination set would exceed {max_combinations} "
+                        f"elements; the library is too general for Spec"
+                    )
+            combos: List[SharedCombination] = []
+            choice_lists = [
+                [frozenset()] + list(chain) for chain in chains
+            ]
+            for selection in itertools.product(*choice_lists):
+                blocks = frozenset().union(*selection)
+                combos.append(sized(blocks))
+            return combos
+
+    count = 2 ** len(shared)
+    if count > max_combinations:
+        raise SolverError(
+            f"2^{len(shared)} shared-block subsets exceed {max_combinations}; "
+            "the library is too general for exhaustive enumeration"
+        )
+    combos = []
+    for r in range(len(shared) + 1):
+        for subset in itertools.combinations(shared, r):
+            combos.append(sized(frozenset(subset)))
+    return combos
+
+
+# ----------------------------------------------------------------------
+# Knapsack backends
+# ----------------------------------------------------------------------
+def _validate_knapsack(
+    values: Sequence[float], weights: Sequence[int], capacity: int
+) -> None:
+    if len(values) != len(weights):
+        raise SolverError("values and weights must have equal length")
+    if capacity < 0:
+        raise SolverError(f"capacity must be non-negative, got {capacity}")
+    if any(v < 0 for v in values):
+        raise SolverError("knapsack values must be non-negative")
+    if any(w < 0 for w in weights):
+        raise SolverError("knapsack weights must be non-negative")
+
+
+def knapsack_value_dp(
+    values: Sequence[float],
+    weights: Sequence[int],
+    capacity: int,
+    epsilon: float = 0.1,
+    max_states: int = 5_000_000,
+) -> Tuple[float, List[int]]:
+    """The paper's rounded value-dimension DP (Algorithm 2, eq. 16/19).
+
+    Values are rounded to integers ``⌊v / (ε · v_min)⌋`` (``v_min`` =
+    smallest positive value), then ``T[w] = minimal weight achieving
+    rounded value w`` is filled item by item. Guarantees total value at
+    least ``(1 - ε)`` of the optimum.
+
+    Returns ``(true_value_of_selection, selected_indices)``.
+
+    Raises
+    ------
+    SolverError
+        If ``epsilon <= 0`` (use the exact backends instead) or the DP
+        table would exceed ``max_states``.
+    """
+    _validate_knapsack(values, weights, capacity)
+    if epsilon <= 0:
+        raise SolverError("knapsack_value_dp requires epsilon > 0")
+    items = [
+        (index, float(values[index]), int(weights[index]))
+        for index in range(len(values))
+        if values[index] > 0 and weights[index] <= capacity
+    ]
+    if not items:
+        return 0.0, []
+    v_min = min(value for _, value, _ in items)
+    unit = epsilon * v_min
+    rounded = [max(1, int(math.floor(value / unit))) for _, value, _ in items]
+    total_rounded = sum(rounded)
+    if (total_rounded + 1) * len(items) > max_states:
+        raise SolverError(
+            f"value DP needs {(total_rounded + 1) * len(items)} states "
+            f"(> {max_states}); increase epsilon or use another backend"
+        )
+
+    inf = float("inf")
+    min_weight = [inf] * (total_rounded + 1)
+    min_weight[0] = 0.0
+    take = np.zeros((len(items), total_rounded + 1), dtype=bool)
+    reachable = 0
+    for item_pos, ((_, _, weight), value_units) in enumerate(zip(items, rounded)):
+        reachable = min(reachable + value_units, total_rounded)
+        for units in range(reachable, value_units - 1, -1):
+            candidate = min_weight[units - value_units] + weight
+            if candidate < min_weight[units]:
+                min_weight[units] = candidate
+                take[item_pos, units] = True
+
+    best_units = 0
+    for units in range(total_rounded, -1, -1):
+        if min_weight[units] <= capacity:
+            best_units = units
+            break
+    selected: List[int] = []
+    units = best_units
+    for item_pos in range(len(items) - 1, -1, -1):
+        if take[item_pos, units]:
+            selected.append(items[item_pos][0])
+            units -= rounded[item_pos]
+    if units != 0:
+        raise SolverError("value DP backtrack failed (internal error)")
+    selected.reverse()
+    true_value = float(sum(values[index] for index in selected))
+    return true_value, selected
+
+
+def knapsack_weight_dp(
+    values: Sequence[float],
+    weights: Sequence[int],
+    capacity: int,
+    quantum: int = 1_000_000,
+    max_states: int = 50_000_000,
+) -> Tuple[float, List[int]]:
+    """DP over quantised weights: exact for the quantised instance.
+
+    Item weights are *ceiled* to multiples of ``quantum`` (conservative:
+    a returned selection always fits the true capacity). With byte-exact
+    weights and ``quantum=1`` this is the textbook exact DP.
+    """
+    _validate_knapsack(values, weights, capacity)
+    if quantum <= 0:
+        raise SolverError(f"quantum must be positive, got {quantum}")
+    cap_units = capacity // quantum
+    items = [
+        (index, float(values[index]), -(-int(weights[index]) // quantum))
+        for index in range(len(values))
+        if values[index] > 0
+    ]
+    items = [item for item in items if item[2] <= cap_units]
+    if not items:
+        return 0.0, []
+    if (cap_units + 1) * len(items) > max_states:
+        raise SolverError(
+            f"weight DP needs {(cap_units + 1) * len(items)} states "
+            f"(> {max_states}); increase the quantum"
+        )
+    best = np.zeros(cap_units + 1)
+    take = np.zeros((len(items), cap_units + 1), dtype=bool)
+    for item_pos, (_, value, weight_units) in enumerate(items):
+        if weight_units == 0:
+            # Fits for free after quantisation: always take.
+            best += value
+            take[item_pos, :] = True
+            continue
+        shifted = best[: cap_units + 1 - weight_units] + value
+        segment = best[weight_units:]
+        improved = shifted > segment
+        segment[improved] = shifted[improved]
+        take[item_pos, weight_units:] = improved
+    units = int(np.argmax(best))
+    selected = []
+    for item_pos in range(len(items) - 1, -1, -1):
+        if take[item_pos, units]:
+            selected.append(items[item_pos][0])
+            units -= items[item_pos][2]
+    selected.reverse()
+    true_value = float(sum(values[index] for index in selected))
+    return true_value, selected
+
+
+def knapsack_branch_and_bound(
+    values: Sequence[float],
+    weights: Sequence[int],
+    capacity: int,
+) -> Tuple[float, List[int]]:
+    """Exact 0/1 knapsack via depth-first branch and bound.
+
+    Items are explored in decreasing value density with the fractional
+    (LP) relaxation as the pruning bound. Exponential worst case but fast
+    at the sub-problem sizes Spec produces; the ε = 0 reference solver.
+    """
+    _validate_knapsack(values, weights, capacity)
+    items = [
+        (index, float(values[index]), int(weights[index]))
+        for index in range(len(values))
+        if values[index] > 0 and weights[index] <= capacity
+    ]
+    if not items:
+        return 0.0, []
+    items.sort(key=lambda item: item[1] / max(item[2], 1e-12), reverse=True)
+
+    n = len(items)
+    best_value = 0.0
+    best_set: List[int] = []
+    chosen: List[int] = []
+
+    def bound(position: int, value: float, remaining: int) -> float:
+        upper = value
+        for idx in range(position, n):
+            _, item_value, item_weight = items[idx]
+            if item_weight <= remaining:
+                upper += item_value
+                remaining -= item_weight
+            else:
+                if item_weight > 0:
+                    upper += item_value * remaining / item_weight
+                break
+        return upper
+
+    def dfs(position: int, value: float, remaining: int) -> None:
+        nonlocal best_value, best_set
+        if value > best_value:
+            best_value = value
+            best_set = list(chosen)
+        if position == n:
+            return
+        if bound(position, value, remaining) <= best_value + 1e-12:
+            return
+        index, item_value, item_weight = items[position]
+        if item_weight <= remaining:
+            chosen.append(index)
+            dfs(position + 1, value + item_value, remaining - item_weight)
+            chosen.pop()
+        dfs(position + 1, value, remaining)
+
+    dfs(0, 0.0, capacity)
+    return best_value, sorted(best_set)
+
+
+#: Backend registry used by the Spec solver.
+KNAPSACK_BACKENDS = {
+    "value_dp": knapsack_value_dp,
+    "weight_dp": knapsack_weight_dp,
+    "exact": knapsack_branch_and_bound,
+}

@@ -1,0 +1,90 @@
+"""Extra baseline policies beyond the paper's comparison set.
+
+These are not in the paper but are standard sanity baselines for caching
+studies and useful in the examples: random feasible placement and
+popularity-only top-k placement (cache the most requested models
+everywhere, ignoring the radio feasibility structure).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Set
+
+import numpy as np
+
+from repro.core.objective import hit_ratio
+from repro.core.placement import PlacementInstance
+from repro.core.result import SolverResult
+from repro.utils.rng import SeedLike, as_generator
+
+
+class RandomPlacement:
+    """Cache uniformly random models on each server until full."""
+
+    name = "Random"
+
+    def __init__(self, seed: SeedLike = None, deduplicate: bool = True) -> None:
+        self.seed = seed
+        self.deduplicate = deduplicate
+
+    def solve(self, instance: PlacementInstance) -> SolverResult:
+        """Fill each server with a random feasible model subset."""
+        start = time.perf_counter()
+        rng = as_generator(self.seed)
+        placement = instance.new_placement()
+        for server in range(instance.num_servers):
+            capacity = int(instance.capacities[server])
+            used = 0
+            blocks: Set[int] = set()
+            for model_index in rng.permutation(instance.num_models):
+                model_index = int(model_index)
+                if self.deduplicate:
+                    extra = instance.marginal_storage(model_index, blocks)
+                else:
+                    extra = int(instance.model_sizes[model_index])
+                if used + extra <= capacity:
+                    placement.add(server, model_index)
+                    used += extra
+                    blocks |= instance.model_blocks[model_index]
+        return SolverResult(
+            placement=placement,
+            hit_ratio=hit_ratio(instance, placement),
+            runtime_s=time.perf_counter() - start,
+            solver=self.name,
+        )
+
+
+class TopPopularityPlacement:
+    """Cache globally most-popular models on every server (LFU-style)."""
+
+    name = "Top popularity"
+
+    def __init__(self, deduplicate: bool = True) -> None:
+        self.deduplicate = deduplicate
+
+    def solve(self, instance: PlacementInstance) -> SolverResult:
+        """Greedy by aggregate demand, identical set attempted per server."""
+        start = time.perf_counter()
+        popularity = instance.demand.sum(axis=0)
+        order: List[int] = np.argsort(-popularity, kind="stable").tolist()
+        placement = instance.new_placement()
+        for server in range(instance.num_servers):
+            capacity = int(instance.capacities[server])
+            used = 0
+            blocks: Set[int] = set()
+            for model_index in order:
+                if self.deduplicate:
+                    extra = instance.marginal_storage(model_index, blocks)
+                else:
+                    extra = int(instance.model_sizes[model_index])
+                if used + extra <= capacity:
+                    placement.add(server, model_index)
+                    used += extra
+                    blocks |= instance.model_blocks[model_index]
+        return SolverResult(
+            placement=placement,
+            hit_ratio=hit_ratio(instance, placement),
+            runtime_s=time.perf_counter() - start,
+            solver=self.name,
+        )

@@ -1,0 +1,202 @@
+"""TrimCaching Gen — the paper's Algorithm 3 (general-case greedy).
+
+Each step caches the (server, model) pair with the largest marginal
+hit-ratio gain whose *deduplicated* marginal storage fits the server's
+remaining capacity, repeating until nothing useful fits. Guarantee: 1/Γ of
+optimal (Theorem 3) — not constant, matching Proposition 2.
+
+Two implementations with provably identical output are provided:
+
+* ``accelerated=False`` — the literal algorithm: re-scan all (m, i) pairs
+  per step.
+* ``accelerated=True`` (default) — lazy greedy: since ``U`` is submodular,
+  a pair's previously computed gain upper-bounds its current gain, so a
+  max-heap of stale gains avoids most re-evaluation. Pairs that currently
+  do not fit are parked per server and revisited when that server's cached
+  block set changes (the only event that can shrink their marginal size —
+  the storage cost is submodular too).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.objective import CoverageTracker
+from repro.core.placement import Placement, PlacementInstance
+from repro.core.result import SolverResult
+from repro.errors import ConfigurationError
+
+# Gains are sums of non-negative products (demand x indicator), so a true
+# zero gain is exactly 0.0 and strict comparisons need no epsilon floor.
+
+
+class TrimCachingGen:
+    """Algorithm 3: greedy placement for arbitrary parameter sharing.
+
+    Parameters
+    ----------
+    accelerated:
+        Use the lazy-greedy implementation (identical output, faster).
+    fill_zero_gain:
+        The paper's loop runs "until no server can cache any model", which
+        would also cache models with zero marginal gain. Those placements
+        never change ``U``; by default we stop early instead. Enable to
+        mimic the literal stopping rule (useful as warm spare capacity).
+    """
+
+    name = "TrimCaching Gen"
+
+    def __init__(self, accelerated: bool = True, fill_zero_gain: bool = False) -> None:
+        self.accelerated = accelerated
+        self.fill_zero_gain = fill_zero_gain
+
+    # ------------------------------------------------------------------
+    def solve(self, instance: PlacementInstance) -> SolverResult:
+        """Run the greedy until no (positive-gain) pair fits."""
+        start = time.perf_counter()
+        if self.accelerated:
+            placement, steps = self._solve_lazy(instance)
+        else:
+            placement, steps = self._solve_naive(instance)
+        if self.fill_zero_gain:
+            self._fill_remaining(instance, placement)
+        from repro.core.objective import hit_ratio  # local to avoid cycle at import
+
+        return SolverResult(
+            placement=placement,
+            hit_ratio=hit_ratio(instance, placement),
+            runtime_s=time.perf_counter() - start,
+            solver=self.name,
+            stats={"greedy_steps": steps, "accelerated": self.accelerated},
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_naive(self, instance: PlacementInstance) -> Tuple[Placement, int]:
+        placement = instance.new_placement()
+        tracker = CoverageTracker(instance)
+        cached_blocks: List[Set[int]] = [set() for _ in range(instance.num_servers)]
+        used = np.zeros(instance.num_servers, dtype=np.int64)
+        steps = 0
+        while True:
+            gains = tracker.gain_matrix()
+            gains[placement.matrix] = -1.0  # already placed
+            best_gain = -1.0
+            best_pair = None
+            for server in range(instance.num_servers):
+                remaining = int(instance.capacities[server] - used[server])
+                if remaining < 0:
+                    continue
+                order = np.argsort(-gains[server], kind="stable")
+                for model_index in order:
+                    gain = gains[server, model_index]
+                    if gain <= best_gain or gain <= 0.0:
+                        break
+                    extra = instance.marginal_storage(
+                        int(model_index), cached_blocks[server]
+                    )
+                    if extra <= remaining:
+                        best_gain = gain
+                        best_pair = (server, int(model_index))
+                        break
+            if best_pair is None:
+                break
+            server, model_index = best_pair
+            self._apply(
+                instance, placement, tracker, cached_blocks, used, server, model_index
+            )
+            steps += 1
+        return placement, steps
+
+    # ------------------------------------------------------------------
+    def _solve_lazy(self, instance: PlacementInstance) -> Tuple[Placement, int]:
+        placement = instance.new_placement()
+        tracker = CoverageTracker(instance)
+        cached_blocks: List[Set[int]] = [set() for _ in range(instance.num_servers)]
+        used = np.zeros(instance.num_servers, dtype=np.int64)
+
+        initial = tracker.gain_matrix()
+        heap: List[Tuple[float, int, int]] = []
+        for server in range(instance.num_servers):
+            for model_index in range(instance.num_models):
+                gain = initial[server, model_index]
+                if gain > 0.0:
+                    heap.append((-gain, server, model_index))
+        heapq.heapify(heap)
+        # Pairs whose gain is current but whose marginal size does not fit;
+        # keyed by server, revisited when that server's block set grows.
+        parked: Dict[int, List[Tuple[float, int, int]]] = {
+            m: [] for m in range(instance.num_servers)
+        }
+        steps = 0
+        while heap:
+            neg_gain, server, model_index = heapq.heappop(heap)
+            if placement.contains(server, model_index):
+                continue
+            fresh = tracker.gain(server, model_index)
+            if fresh <= 0.0:
+                continue
+            candidate = (-fresh, server, model_index)
+            if heap and heap[0] < candidate:
+                # Stale (or tied with a lower-index pair): re-queue with
+                # the fresh key so ties break exactly like the naive scan.
+                heapq.heappush(heap, candidate)
+                continue
+            extra = instance.marginal_storage(model_index, cached_blocks[server])
+            if extra > instance.capacities[server] - used[server]:
+                parked[server].append((-fresh, server, model_index))
+                continue
+            self._apply(
+                instance, placement, tracker, cached_blocks, used, server, model_index
+            )
+            steps += 1
+            # The server's block set grew: parked pairs may fit now.
+            if parked[server]:
+                for entry in parked[server]:
+                    heapq.heappush(heap, entry)
+                parked[server] = []
+        return placement, steps
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply(
+        instance: PlacementInstance,
+        placement: Placement,
+        tracker: CoverageTracker,
+        cached_blocks: List[Set[int]],
+        used: np.ndarray,
+        server: int,
+        model_index: int,
+    ) -> None:
+        extra = instance.marginal_storage(model_index, cached_blocks[server])
+        placement.add(server, model_index)
+        cached_blocks[server] |= instance.model_blocks[model_index]
+        used[server] += extra
+        tracker.mark_served(server, model_index)
+
+    # ------------------------------------------------------------------
+    def _fill_remaining(
+        self, instance: PlacementInstance, placement: Placement
+    ) -> None:
+        """Literal stopping rule: keep caching (zero-gain) models while any fits."""
+        cached_blocks: List[Set[int]] = []
+        used = []
+        for server in range(instance.num_servers):
+            blocks: Set[int] = set()
+            for model_index in placement.models_on(server):
+                blocks |= instance.model_blocks[model_index]
+            cached_blocks.append(blocks)
+            used.append(instance.dedup_storage(placement.models_on(server)))
+        for server in range(instance.num_servers):
+            remaining = int(instance.capacities[server] - used[server])
+            for model_index in range(instance.num_models):
+                if placement.contains(server, model_index):
+                    continue
+                extra = instance.marginal_storage(model_index, cached_blocks[server])
+                if extra <= remaining:
+                    placement.add(server, model_index)
+                    cached_blocks[server] |= instance.model_blocks[model_index]
+                    remaining -= extra

@@ -1,0 +1,150 @@
+"""Objective ``U(X)`` (eq. 2), storage cost ``g_m`` (eq. 7), feasibility.
+
+Also provides :class:`CoverageTracker`, the incremental-evaluation engine
+shared by the greedy solvers: it maintains which (user, model) requests are
+already served and answers marginal-gain queries in vectorised form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from repro.core.placement import Placement, PlacementInstance
+from repro.errors import PlacementError
+
+
+def _check_shapes(instance: PlacementInstance, placement: Placement) -> None:
+    expected = (instance.num_servers, instance.num_models)
+    if placement.matrix.shape != expected:
+        raise PlacementError(
+            f"placement shape {placement.matrix.shape} does not match instance {expected}"
+        )
+
+
+def served_matrix(
+    instance: PlacementInstance,
+    placement: Placement,
+    feasible: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``(K, I)`` boolean: is request (k, i) served by some server?
+
+    ``feasible`` overrides the instance's ``I1`` tensor (used when
+    evaluating a placement under faded rates instead of expected rates).
+    """
+    _check_shapes(instance, placement)
+    feas = instance.feasible if feasible is None else feasible
+    if feas.shape != instance.feasible.shape:
+        raise PlacementError(
+            f"feasibility tensor must have shape {instance.feasible.shape}"
+        )
+    # served[k, i] = OR_m (x[m, i] AND I1[m, k, i])
+    return np.einsum("mki,mi->ki", feas, placement.matrix) > 0
+
+
+def hit_ratio(
+    instance: PlacementInstance,
+    placement: Placement,
+    feasible: Optional[np.ndarray] = None,
+) -> float:
+    """The expected cache hit ratio ``U(X)`` of eq. (2)."""
+    served = served_matrix(instance, placement, feasible)
+    return float((instance.demand * served).sum() / instance.total_demand)
+
+
+def storage_used(instance: PlacementInstance, placement: Placement, server: int) -> int:
+    """Deduplicated bytes used on ``server``: ``g_m(X_m)`` of eq. (7)."""
+    _check_shapes(instance, placement)
+    return instance.dedup_storage(placement.models_on(server))
+
+
+def independent_storage_used(
+    instance: PlacementInstance, placement: Placement, server: int
+) -> int:
+    """Bytes used on ``server`` when models are stored without sharing."""
+    _check_shapes(instance, placement)
+    return int(sum(instance.model_sizes[i] for i in placement.models_on(server)))
+
+
+def placement_is_feasible(
+    instance: PlacementInstance,
+    placement: Placement,
+    *,
+    deduplicate: bool = True,
+) -> bool:
+    """Does the placement respect every server's capacity?
+
+    ``deduplicate=False`` applies the Independent-Caching storage
+    accounting (full model sizes, knapsack constraint).
+    """
+    for server in range(instance.num_servers):
+        if deduplicate:
+            used = storage_used(instance, placement, server)
+        else:
+            used = independent_storage_used(instance, placement, server)
+        if used > instance.capacities[server]:
+            return False
+    return True
+
+
+class CoverageTracker:
+    """Incremental coverage bookkeeping for greedy solvers.
+
+    Tracks which (user, model) requests are currently served and exposes:
+
+    * :meth:`gain` — marginal hit-probability mass of adding (m, i);
+    * :meth:`gain_matrix` — all marginal gains at once, shape ``(M, I)``;
+    * :meth:`mark_served` — update after a placement step.
+
+    All gains are *unnormalised* (probability mass, not ratio); divide by
+    ``instance.total_demand`` to convert.
+    """
+
+    def __init__(self, instance: PlacementInstance) -> None:
+        self.instance = instance
+        self.served = np.zeros(
+            (instance.num_users, instance.num_models), dtype=bool
+        )
+
+    def unserved_demand(self) -> np.ndarray:
+        """``(K, I)`` demand mass not yet served."""
+        return self.instance.demand * ~self.served
+
+    def gain(self, server: int, model_index: int) -> float:
+        """Marginal mass served by caching ``model_index`` on ``server``."""
+        feas = self.instance.feasible[server, :, model_index]
+        unserved = ~self.served[:, model_index]
+        return float(
+            (self.instance.demand[:, model_index] * feas * unserved).sum()
+        )
+
+    def gain_matrix(self) -> np.ndarray:
+        """``(M, I)`` marginal masses for every (server, model) pair."""
+        weighted = self.unserved_demand()
+        return np.einsum("mki,ki->mi", self.instance.feasible, weighted)
+
+    def server_gains(self, server: int) -> np.ndarray:
+        """``(I,)`` marginal masses for one server (the Spec sub-problem's
+        ``u(m, i)`` values of eq. (14), with ``I2`` implicit in
+        ``self.served``)."""
+        weighted = self.unserved_demand()
+        return (self.instance.feasible[server] * weighted).sum(axis=0)
+
+    def mark_served(self, server: int, model_index: int) -> None:
+        """Record that (server, model) is now cached."""
+        feas = self.instance.feasible[server, :, model_index]
+        self.served[:, model_index] |= feas
+
+    def mark_server_models(self, server: int, model_indices: Iterable[int]) -> None:
+        """Record a whole per-server caching decision at once."""
+        for model_index in model_indices:
+            self.mark_served(server, model_index)
+
+    def covered_mass(self) -> float:
+        """Total demand mass currently served."""
+        return float((self.instance.demand * self.served).sum())
+
+    def hit_ratio(self) -> float:
+        """Current hit ratio implied by the tracker state."""
+        return self.covered_mass() / self.instance.total_demand

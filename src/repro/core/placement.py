@@ -1,0 +1,224 @@
+"""Problem instances and placement decisions for P1.1.
+
+:class:`PlacementInstance` is the solver-facing view of one snapshot:
+demand ``p_{k,i}``, feasibility ``I1[m,k,i]``, server capacities ``Q_m``
+and the model library. Solvers work in *dense model indices* ``0..I-1``
+(column positions), which the instance maps to library model ids — library
+ids need not be contiguous (e.g. after :meth:`ModelLibrary.subset`).
+
+:class:`Placement` is the decision ``X``: a boolean ``(M, I)`` matrix with
+set-style helpers. It is cheap to copy and hashable once frozen.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.models.library import ModelLibrary
+
+
+class PlacementInstance:
+    """One placement problem (paper P1.1).
+
+    Parameters
+    ----------
+    library:
+        The parameter-sharing model library.
+    demand:
+        ``(K, I)`` request probabilities ``p_{k,i}``; column ``i``
+        corresponds to ``library.model_ids[i]``.
+    feasible:
+        ``(M, K, I)`` boolean ``I1[m,k,i]`` — can server ``m`` serve the
+        (k, i) request within its deadline?
+    capacities:
+        ``(M,)`` storage capacities ``Q_m`` in bytes.
+    """
+
+    def __init__(
+        self,
+        library: ModelLibrary,
+        demand: np.ndarray,
+        feasible: np.ndarray,
+        capacities: Sequence[int],
+    ) -> None:
+        demand = np.asarray(demand, dtype=float)
+        feasible = np.asarray(feasible, dtype=bool)
+        capacities_arr = np.asarray(capacities, dtype=np.int64)
+
+        if demand.ndim != 2:
+            raise PlacementError("demand must be a (K, I) matrix")
+        if feasible.ndim != 3:
+            raise PlacementError("feasible must be a (M, K, I) tensor")
+        num_users, num_models = demand.shape
+        num_servers = feasible.shape[0]
+        if feasible.shape != (num_servers, num_users, num_models):
+            raise PlacementError(
+                f"feasible shape {feasible.shape} does not match demand {demand.shape}"
+            )
+        if capacities_arr.ndim != 1 or capacities_arr.shape[0] != num_servers:
+            raise PlacementError("capacities must have one entry per server")
+        if np.any(capacities_arr < 0):
+            raise PlacementError("capacities must be non-negative")
+        if np.any(demand < 0):
+            raise PlacementError("demand probabilities must be non-negative")
+        if num_models != library.num_models:
+            raise PlacementError(
+                f"demand has {num_models} models but library has {library.num_models}"
+            )
+        total = demand.sum()
+        if total <= 0:
+            raise PlacementError("total demand must be positive")
+
+        self.library = library
+        self.demand = demand
+        self.feasible = feasible
+        self.capacities = capacities_arr
+        self.total_demand = float(total)
+        #: dense index -> library model id (ascending id order).
+        self.index_to_model_id: Tuple[int, ...] = tuple(library.model_ids)
+        self._model_id_to_index: Dict[int, int] = {
+            model_id: index for index, model_id in enumerate(self.index_to_model_id)
+        }
+        #: dense index -> the model's block-id frozenset.
+        self.model_blocks: Tuple[FrozenSet[int], ...] = tuple(
+            library.model(model_id).block_set for model_id in self.index_to_model_id
+        )
+        #: dense index -> full model size D_i in bytes.
+        self.model_sizes: np.ndarray = np.array(
+            [library.model_size(model_id) for model_id in self.index_to_model_id],
+            dtype=np.int64,
+        )
+        #: block id -> size in bytes (plain dict for the hot greedy loop).
+        self.block_sizes: Dict[int, int] = {
+            block_id: library.block_size(block_id) for block_id in library.block_ids
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        """``M``."""
+        return int(self.feasible.shape[0])
+
+    @property
+    def num_users(self) -> int:
+        """``K``."""
+        return int(self.demand.shape[0])
+
+    @property
+    def num_models(self) -> int:
+        """``I``."""
+        return int(self.demand.shape[1])
+
+    def index_of(self, model_id: int) -> int:
+        """Dense index of a library model id."""
+        try:
+            return self._model_id_to_index[model_id]
+        except KeyError:
+            raise PlacementError(f"model id {model_id} not in instance") from None
+
+    def blocks_of(self, model_index: int) -> FrozenSet[int]:
+        """Block ids of the model at dense index ``model_index``."""
+        return self.model_blocks[model_index]
+
+    def marginal_storage(
+        self, model_index: int, cached_blocks: AbstractSet[int]
+    ) -> int:
+        """Bytes needed to add this model on top of ``cached_blocks``."""
+        return sum(
+            self.block_sizes[b]
+            for b in self.model_blocks[model_index]
+            if b not in cached_blocks
+        )
+
+    def dedup_storage(self, model_indices: Iterable[int]) -> int:
+        """Deduplicated footprint ``g_m`` of a set of dense indices."""
+        blocks: Set[int] = set()
+        for index in model_indices:
+            blocks |= self.model_blocks[index]
+        return sum(self.block_sizes[b] for b in blocks)
+
+    def new_placement(self) -> "Placement":
+        """An empty placement with this instance's shape."""
+        return Placement(np.zeros((self.num_servers, self.num_models), dtype=bool))
+
+
+class Placement:
+    """The decision matrix ``X`` (servers x models, boolean)."""
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise PlacementError("placement matrix must be 2-D (servers x models)")
+        self.matrix = matrix
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_server_sets(
+        cls, num_servers: int, num_models: int, server_sets: Dict[int, Iterable[int]]
+    ) -> "Placement":
+        """Build from ``{server: model indices}``."""
+        matrix = np.zeros((num_servers, num_models), dtype=bool)
+        for server, indices in server_sets.items():
+            for index in indices:
+                matrix[server, index] = True
+        return cls(matrix)
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers in the decision."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def num_models(self) -> int:
+        """Number of models in the decision."""
+        return int(self.matrix.shape[1])
+
+    def models_on(self, server: int) -> List[int]:
+        """Dense model indices cached on ``server``."""
+        return np.flatnonzero(self.matrix[server]).tolist()
+
+    def servers_with(self, model_index: int) -> List[int]:
+        """Servers caching the model at ``model_index``."""
+        return np.flatnonzero(self.matrix[:, model_index]).tolist()
+
+    def add(self, server: int, model_index: int) -> None:
+        """Cache one model on one server (idempotent)."""
+        self.matrix[server, model_index] = True
+
+    def remove(self, server: int, model_index: int) -> None:
+        """Evict one model from one server (idempotent)."""
+        self.matrix[server, model_index] = False
+
+    def contains(self, server: int, model_index: int) -> bool:
+        """Is the model cached on the server?"""
+        return bool(self.matrix[server, model_index])
+
+    def total_placements(self) -> int:
+        """``|X|``: number of (server, model) placements."""
+        return int(self.matrix.sum())
+
+    def copy(self) -> "Placement":
+        """An independent copy."""
+        return Placement(self.matrix.copy())
+
+    def frozen(self) -> Tuple[FrozenSet[int], ...]:
+        """Hashable canonical form (one frozenset per server)."""
+        return tuple(
+            frozenset(np.flatnonzero(row).tolist()) for row in self.matrix
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return self.matrix.shape == other.matrix.shape and bool(
+            (self.matrix == other.matrix).all()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Placement({self.total_placements()} placements on "
+            f"{self.num_servers} servers)"
+        )

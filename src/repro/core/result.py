@@ -1,0 +1,39 @@
+"""Common result type returned by every placement solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.core.placement import Placement
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one solver run.
+
+    Attributes
+    ----------
+    placement:
+        The decision ``X``.
+    hit_ratio:
+        Objective value ``U(X)`` under the instance's expected rates.
+    runtime_s:
+        Wall-clock solve time.
+    solver:
+        Name of the producing algorithm.
+    stats:
+        Solver-specific counters (greedy steps, DP states, ...).
+    """
+
+    placement: Placement
+    hit_ratio: float
+    runtime_s: float
+    solver: str
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SolverResult(solver={self.solver!r}, hit_ratio={self.hit_ratio:.4f}, "
+            f"runtime={self.runtime_s:.4f}s)"
+        )

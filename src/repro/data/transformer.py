@@ -1,0 +1,99 @@
+"""Synthetic decoder-only transformer layer table.
+
+The paper motivates TrimCaching with LLMs fine-tuned through PEFT (LoRA),
+where >99% of parameters are frozen and shared across downstream models.
+This module provides a parameter table for a small decoder-only transformer
+so the LoRA example and tests can build parameter-sharing libraries with an
+LLM-shaped sharing profile (one huge shared backbone, tiny specific
+adapters) without any ML framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.data.resnet import LayerSpec
+
+
+@dataclass(frozen=True)
+class TransformerSpec:
+    """Hyper-parameters of a decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    num_layers:
+        Number of decoder blocks.
+    hidden_dim:
+        Model (residual stream) width.
+    ffn_dim:
+        Feed-forward inner width (usually ``4 * hidden_dim``).
+    vocab_size:
+        Token vocabulary size (drives the embedding/unembedding size).
+    """
+
+    name: str
+    num_layers: int
+    hidden_dim: int
+    ffn_dim: int
+    vocab_size: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("num_layers", "hidden_dim", "ffn_dim", "vocab_size"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+#: A ~120M-parameter model: big enough that adapters are negligibly small.
+TINY_LLM = TransformerSpec(
+    "tiny-llm", num_layers=12, hidden_dim=768, ffn_dim=3072, vocab_size=32_000
+)
+
+#: A ~1.2B-parameter model in the Gemini-Nano size class the paper cites.
+NANO_LLM = TransformerSpec(
+    "nano-llm", num_layers=24, hidden_dim=2048, ffn_dim=8192, vocab_size=32_000
+)
+
+
+def transformer_layer_table(spec: TransformerSpec) -> List[LayerSpec]:
+    """Enumerate the weight tensors of ``spec`` in forward order.
+
+    Per decoder block: fused QKV projection, attention output projection,
+    and the two feed-forward matrices. Embedding first, unembedding last
+    (untied). Biases and layer norms are folded into the matrices they
+    precede — block granularity, not exact checkpoint layout, is what the
+    caching problem consumes.
+    """
+    layers: List[LayerSpec] = [
+        LayerSpec("embed", spec.vocab_size * spec.hidden_dim)
+    ]
+    d, f = spec.hidden_dim, spec.ffn_dim
+    for index in range(spec.num_layers):
+        prefix = f"block{index}"
+        layers.append(LayerSpec(f"{prefix}.attn.qkv", 3 * d * d))
+        layers.append(LayerSpec(f"{prefix}.attn.out", d * d))
+        layers.append(LayerSpec(f"{prefix}.ffn.up", d * f))
+        layers.append(LayerSpec(f"{prefix}.ffn.down", f * d))
+    layers.append(LayerSpec("unembed", spec.hidden_dim * spec.vocab_size))
+    return layers
+
+
+def lora_adapter_params(spec: TransformerSpec, rank: int) -> int:
+    """Parameter count of a LoRA adapter applied to every projection.
+
+    Each adapted matrix of shape ``(out, in)`` gains ``rank * (out + in)``
+    parameters. We adapt the QKV, attention-output and both FFN matrices of
+    every block, the common "all linear layers" recipe.
+    """
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    d, f = spec.hidden_dim, spec.ffn_dim
+    per_block = (
+        rank * (3 * d + d)  # qkv
+        + rank * (d + d)  # attn out
+        + rank * (f + d)  # ffn up
+        + rank * (d + f)  # ffn down
+    )
+    return spec.num_layers * per_block

@@ -1,0 +1,49 @@
+"""Parameter blocks — the unit of storage in TrimCaching.
+
+A :class:`ParameterBlock` is a contiguous set of parameters treated
+atomically by the caching problem (paper §III-B): a CNN layer, a
+transformer block, a LoRA adapter, or a whole backbone, depending on how
+models share parameters. Two models *share* a block when they reference the
+same block id; an edge server then stores that block once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True)
+class ParameterBlock:
+    """An atomic, immutable unit of model parameters.
+
+    Attributes
+    ----------
+    block_id:
+        Unique non-negative integer id within a library.
+    size_bytes:
+        Storage footprint of the block.
+    name:
+        Human-readable label (layer path, adapter name, ...).
+    origin:
+        Identifier of the model/root the block was created by; useful for
+        tracing sharing structure but not consumed by the solvers.
+    """
+
+    block_id: int
+    size_bytes: int
+    name: str = ""
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.block_id < 0:
+            raise LibraryError(f"block_id must be non-negative, got {self.block_id}")
+        if self.size_bytes <= 0:
+            raise LibraryError(
+                f"block {self.block_id} size must be positive, got {self.size_bytes}"
+            )
+
+    def __str__(self) -> str:
+        label = self.name or f"block{self.block_id}"
+        return f"{label}({self.size_bytes}B)"

@@ -1,0 +1,286 @@
+"""The parameter-sharing model library (paper §III-B).
+
+:class:`ModelLibrary` owns the parameter blocks ``J`` and models ``I`` and
+answers every structural query the solvers need:
+
+* ``I_j`` — which models contain block ``j`` (:meth:`models_with_block`);
+* shared vs. specific block classification;
+* deduplicated storage footprints (union of block sizes), the quantity the
+  submodular constraint (6b) is built from;
+* marginal storage cost of adding one model to a cached block set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import LibraryError
+from repro.models.blocks import ParameterBlock
+from repro.models.model import Model
+
+
+@dataclass(frozen=True)
+class SharingStats:
+    """Summary of how much storage parameter sharing saves."""
+
+    num_models: int
+    num_blocks: int
+    num_shared_blocks: int
+    total_size_independent: int
+    total_size_deduplicated: int
+
+    @property
+    def savings_ratio(self) -> float:
+        """Fraction of storage saved by deduplication (0 = none)."""
+        if self.total_size_independent == 0:
+            return 0.0
+        return 1.0 - self.total_size_deduplicated / self.total_size_independent
+
+
+class ModelLibrary:
+    """An immutable collection of models over a shared block pool.
+
+    Parameters
+    ----------
+    blocks:
+        All parameter blocks; ids must be unique.
+    models:
+        All models; ids must be unique and every referenced block id must
+        exist in ``blocks``.
+
+    Notes
+    -----
+    Instances are logically immutable: all mutating operations return new
+    libraries. Internal indexes (``I_j``, shared-block sets) are built once
+    at construction.
+    """
+
+    def __init__(
+        self, blocks: Iterable[ParameterBlock], models: Iterable[Model]
+    ) -> None:
+        self._blocks: Dict[int, ParameterBlock] = {}
+        for block in blocks:
+            if block.block_id in self._blocks:
+                raise LibraryError(f"duplicate block id {block.block_id}")
+            self._blocks[block.block_id] = block
+
+        self._models: Dict[int, Model] = {}
+        for model in models:
+            if model.model_id in self._models:
+                raise LibraryError(f"duplicate model id {model.model_id}")
+            missing = model.block_set - self._blocks.keys()
+            if missing:
+                raise LibraryError(
+                    f"model {model.model_id} references unknown blocks {sorted(missing)}"
+                )
+            self._models[model.model_id] = model
+
+        if not self._models:
+            raise LibraryError("library must contain at least one model")
+
+        # I_j: block id -> ids of models containing it.
+        self._models_with_block: Dict[int, Set[int]] = {
+            block_id: set() for block_id in self._blocks
+        }
+        for model in self._models.values():
+            for block_id in model.block_ids:
+                self._models_with_block[block_id].add(model.model_id)
+
+        self._shared_block_ids: FrozenSet[int] = frozenset(
+            block_id
+            for block_id, owners in self._models_with_block.items()
+            if len(owners) > 1
+        )
+        self._model_sizes: Dict[int, int] = {
+            model.model_id: sum(
+                self._blocks[b].size_bytes for b in model.block_ids
+            )
+            for model in self._models.values()
+        }
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def model_ids(self) -> List[int]:
+        """All model ids in ascending order."""
+        return sorted(self._models)
+
+    @property
+    def block_ids(self) -> List[int]:
+        """All block ids in ascending order."""
+        return sorted(self._blocks)
+
+    @property
+    def num_models(self) -> int:
+        """Number of models ``|I|``."""
+        return len(self._models)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of parameter blocks ``|J|``."""
+        return len(self._blocks)
+
+    def model(self, model_id: int) -> Model:
+        """Look up a model by id."""
+        try:
+            return self._models[model_id]
+        except KeyError:
+            raise LibraryError(f"unknown model id {model_id}") from None
+
+    def block(self, block_id: int) -> ParameterBlock:
+        """Look up a block by id."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise LibraryError(f"unknown block id {block_id}") from None
+
+    def models(self) -> List[Model]:
+        """All models in id order."""
+        return [self._models[i] for i in self.model_ids]
+
+    def blocks(self) -> List[ParameterBlock]:
+        """All blocks in id order."""
+        return [self._blocks[j] for j in self.block_ids]
+
+    # ------------------------------------------------------------------
+    # Sharing structure
+    # ------------------------------------------------------------------
+    def models_with_block(self, block_id: int) -> FrozenSet[int]:
+        """``I_j``: ids of models containing ``block_id``."""
+        if block_id not in self._models_with_block:
+            raise LibraryError(f"unknown block id {block_id}")
+        return frozenset(self._models_with_block[block_id])
+
+    @property
+    def shared_block_ids(self) -> FrozenSet[int]:
+        """Blocks contained in more than one model (paper's shared blocks)."""
+        return self._shared_block_ids
+
+    @property
+    def specific_block_ids(self) -> FrozenSet[int]:
+        """Blocks contained in exactly one model."""
+        return frozenset(self._blocks) - self._shared_block_ids
+
+    def shared_blocks_of(self, model_id: int) -> FrozenSet[int]:
+        """The shared blocks of one model."""
+        return self.model(model_id).block_set & self._shared_block_ids
+
+    def specific_blocks_of(self, model_id: int) -> FrozenSet[int]:
+        """The specific (exclusive) blocks of one model."""
+        return self.model(model_id).block_set - self._shared_block_ids
+
+    # ------------------------------------------------------------------
+    # Storage accounting
+    # ------------------------------------------------------------------
+    def block_size(self, block_id: int) -> int:
+        """Size of one block, ``D'_j``."""
+        return self.block(block_id).size_bytes
+
+    def blocks_size(self, block_ids: AbstractSet[int]) -> int:
+        """Total size of a set of blocks."""
+        return sum(self.block(b).size_bytes for b in block_ids)
+
+    def model_size(self, model_id: int) -> int:
+        """Full size of one model, ``D_i`` (sum of its block sizes)."""
+        if model_id not in self._model_sizes:
+            raise LibraryError(f"unknown model id {model_id}")
+        return self._model_sizes[model_id]
+
+    def specific_size_of(self, model_id: int) -> int:
+        """Size of one model's specific blocks only."""
+        return self.blocks_size(self.specific_blocks_of(model_id))
+
+    def union_blocks(self, model_ids: Iterable[int]) -> Set[int]:
+        """The union of block ids across ``model_ids``."""
+        union: Set[int] = set()
+        for model_id in model_ids:
+            union |= self.model(model_id).block_set
+        return union
+
+    def deduplicated_size(self, model_ids: Iterable[int]) -> int:
+        """Storage to hold ``model_ids`` with shared blocks stored once.
+
+        This is ``g_m`` (eq. 7) evaluated on one server's cached set.
+        """
+        return self.blocks_size(self.union_blocks(model_ids))
+
+    def independent_size(self, model_ids: Iterable[int]) -> int:
+        """Storage if every model is stored in full (no deduplication)."""
+        return sum(self.model_size(i) for i in model_ids)
+
+    def marginal_size(self, model_id: int, cached_blocks: AbstractSet[int]) -> int:
+        """Extra bytes needed to add ``model_id`` given ``cached_blocks``."""
+        model = self.model(model_id)
+        return sum(
+            self._blocks[b].size_bytes
+            for b in model.block_ids
+            if b not in cached_blocks
+        )
+
+    def sharing_stats(self) -> SharingStats:
+        """Library-wide sharing summary (used by Table I reporting)."""
+        all_ids = self.model_ids
+        return SharingStats(
+            num_models=self.num_models,
+            num_blocks=self.num_blocks,
+            num_shared_blocks=len(self._shared_block_ids),
+            total_size_independent=self.independent_size(all_ids),
+            total_size_deduplicated=self.deduplicated_size(all_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # Structure checks and derived libraries
+    # ------------------------------------------------------------------
+    def specific_blocks_are_exclusive(self) -> bool:
+        """True when every non-shared block belongs to at most one model.
+
+        Holds by definition of "shared" (zero-owner orphan blocks are
+        allowed); retained as a cheap invariant check plus a readable name
+        for the condition the Spec solver relies on (the DP treats
+        specific sizes as additive).
+        """
+        return all(
+            len(self._models_with_block[b]) <= 1 for b in self.specific_block_ids
+        )
+
+    def subset(self, model_ids: Sequence[int]) -> "ModelLibrary":
+        """A new library restricted to ``model_ids`` (blocks pruned).
+
+        Note that a block shared by several models may become specific in
+        the subset if only one of its owners survives.
+        """
+        if not model_ids:
+            raise LibraryError("subset requires at least one model id")
+        chosen = [self.model(i) for i in model_ids]
+        needed_blocks = set()
+        for model in chosen:
+            needed_blocks |= model.block_set
+        return ModelLibrary(
+            blocks=[self._blocks[b] for b in sorted(needed_blocks)],
+            models=chosen,
+        )
+
+    def __contains__(self, model_id: object) -> bool:
+        return model_id in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ModelLibrary(models={self.num_models}, blocks={self.num_blocks}, "
+            f"shared={len(self._shared_block_ids)})"
+        )

@@ -1,0 +1,72 @@
+"""Request popularity models: ``p_{k,i}`` matrices.
+
+The paper draws each user's request probability over the model library from
+a Zipf distribution (§VII-A). :class:`ZipfPopularity` reproduces that, with
+an optional per-user permutation of the popularity ranking (so users need
+not agree on which model is "most popular"); each user's row sums to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class ZipfPopularity:
+    """Zipf request-probability generator.
+
+    Attributes
+    ----------
+    exponent:
+        Zipf skew ``s``; rank ``r`` has weight ``r**-s``. ``s = 0`` gives a
+        uniform distribution.
+    per_user_permutation:
+        When True every user gets an independent random assignment of
+        ranks to models; when False all users share a single global
+        ranking (drawn once).
+    """
+
+    exponent: float = 0.8
+    per_user_permutation: bool = True
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0:
+            raise ConfigurationError(
+                f"Zipf exponent must be non-negative, got {self.exponent}"
+            )
+
+    def probabilities(
+        self, num_users: int, num_models: int, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Build the ``(num_users, num_models)`` matrix ``p_{k,i}``.
+
+        Every row sums to 1 (each request is for exactly one model).
+        """
+        if num_users < 1 or num_models < 1:
+            raise ConfigurationError(
+                "num_users and num_models must both be at least 1"
+            )
+        rng = as_generator(seed)
+        ranks = np.arange(1, num_models + 1, dtype=float)
+        weights = ranks ** (-self.exponent)
+        base = weights / weights.sum()
+        matrix = np.empty((num_users, num_models))
+        if self.per_user_permutation:
+            for user in range(num_users):
+                matrix[user] = base[rng.permutation(num_models)]
+        else:
+            shared = base[rng.permutation(num_models)]
+            matrix[:] = shared
+        return matrix
+
+
+def uniform_popularity(num_users: int, num_models: int) -> np.ndarray:
+    """Uniform ``p_{k,i}`` matrix (every model equally likely)."""
+    if num_users < 1 or num_models < 1:
+        raise ConfigurationError("num_users and num_models must both be at least 1")
+    return np.full((num_users, num_models), 1.0 / num_models)

@@ -1,0 +1,106 @@
+"""Wireless channel model (paper eq. 1).
+
+The expected downlink rate from server ``m`` to user ``k`` is
+
+    C̄_{m,k} = B̄_{m,k} log2(1 + P̄_{m,k} γ0 d_{m,k}^{-α0} / (n0 B̄_{m,k})),
+
+with antenna factor ``γ0``, path-loss exponent ``α0`` and noise power
+spectral density ``n0``. Placement decisions use this *expected* rate;
+evaluation then re-draws instantaneous rates under Rayleigh fading, where
+the channel power gain ``|h|²`` is exponential with unit mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Thermal noise floor at ~290 K in W/Hz (-174 dBm/Hz).
+DEFAULT_NOISE_PSD = 10.0 ** ((-174.0 - 30.0) / 10.0)
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Path-loss + Shannon capacity channel with optional Rayleigh fading.
+
+    Attributes
+    ----------
+    antenna_gain:
+        ``γ0`` in eq. (1); paper uses 1.
+    path_loss_exponent:
+        ``α0``; paper uses 4.
+    noise_psd:
+        ``n0`` in W/Hz; the paper leaves it unstated, we default to the
+        standard thermal floor of -174 dBm/Hz.
+    min_distance:
+        Distances are clamped below by this value so the far-field
+        path-loss law is never evaluated at ``d -> 0``.
+    """
+
+    antenna_gain: float = 1.0
+    path_loss_exponent: float = 4.0
+    noise_psd: float = DEFAULT_NOISE_PSD
+    min_distance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.antenna_gain <= 0:
+            raise ConfigurationError("antenna_gain must be positive")
+        if self.path_loss_exponent <= 0:
+            raise ConfigurationError("path_loss_exponent must be positive")
+        if self.noise_psd <= 0:
+            raise ConfigurationError("noise_psd must be positive")
+        if self.min_distance <= 0:
+            raise ConfigurationError("min_distance must be positive")
+
+    # ------------------------------------------------------------------
+    def mean_snr(
+        self, power_watts: ArrayLike, bandwidth_hz: ArrayLike, distance_m: ArrayLike
+    ) -> ArrayLike:
+        """Average SNR ``P γ0 d^{-α} / (n0 B)``."""
+        distance = np.maximum(np.asarray(distance_m, dtype=float), self.min_distance)
+        power = np.asarray(power_watts, dtype=float)
+        bandwidth = np.asarray(bandwidth_hz, dtype=float)
+        if np.any(power < 0):
+            raise ConfigurationError("power must be non-negative")
+        if np.any(bandwidth <= 0):
+            raise ConfigurationError("bandwidth must be positive")
+        gain = self.antenna_gain * distance ** (-self.path_loss_exponent)
+        return power * gain / (self.noise_psd * bandwidth)
+
+    def expected_rate(
+        self, power_watts: ArrayLike, bandwidth_hz: ArrayLike, distance_m: ArrayLike
+    ) -> ArrayLike:
+        """Expected downlink rate ``C̄`` in bits/s (eq. 1)."""
+        bandwidth = np.asarray(bandwidth_hz, dtype=float)
+        snr = self.mean_snr(power_watts, bandwidth_hz, distance_m)
+        return bandwidth * np.log2(1.0 + snr)
+
+    def faded_rate(
+        self,
+        power_watts: ArrayLike,
+        bandwidth_hz: ArrayLike,
+        distance_m: ArrayLike,
+        fading_gain: ArrayLike,
+    ) -> ArrayLike:
+        """Instantaneous rate given channel power gains ``|h|²``."""
+        gains = np.asarray(fading_gain, dtype=float)
+        if np.any(gains < 0):
+            raise ConfigurationError("fading gains must be non-negative")
+        bandwidth = np.asarray(bandwidth_hz, dtype=float)
+        snr = self.mean_snr(power_watts, bandwidth_hz, distance_m) * gains
+        return bandwidth * np.log2(1.0 + snr)
+
+    @staticmethod
+    def sample_rayleigh_gains(
+        shape: tuple, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Draw ``|h|²`` gains for Rayleigh fading (Exp(1) distributed)."""
+        rng = as_generator(seed)
+        return rng.exponential(1.0, size=shape)

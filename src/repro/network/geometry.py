@@ -1,0 +1,103 @@
+"""Planar geometry for the simulation area.
+
+The paper places ``K`` users and ``M`` edge servers uniformly at random in
+a square area (1 km x 1 km by default, 400 m for the Fig. 6 optimality
+study). This module provides point sampling, distance matrices, and
+coverage sets ``M_k`` / ``K_m`` induced by a server coverage radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D position in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def as_array(self) -> np.ndarray:
+        """The point as a length-2 float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+
+def uniform_points(
+    count: int, side_length: float, seed: SeedLike = None
+) -> List[Point]:
+    """Sample ``count`` points uniformly in a ``side_length``-sided square."""
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if side_length <= 0:
+        raise ConfigurationError(
+            f"side_length must be positive, got {side_length}"
+        )
+    rng = as_generator(seed)
+    coords = rng.uniform(0.0, side_length, size=(count, 2))
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+def pairwise_distances(
+    sources: Sequence[Point], targets: Sequence[Point]
+) -> np.ndarray:
+    """Distance matrix of shape ``(len(sources), len(targets))``."""
+    if not sources or not targets:
+        return np.zeros((len(sources), len(targets)))
+    src = np.array([p.as_array() for p in sources])
+    dst = np.array([p.as_array() for p in targets])
+    diff = src[:, None, :] - dst[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def coverage_sets(
+    distances: np.ndarray, radius: float
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Coverage relations induced by ``radius``.
+
+    Parameters
+    ----------
+    distances:
+        ``(M, K)`` server-to-user distance matrix.
+    radius:
+        Server coverage radius in metres.
+
+    Returns
+    -------
+    (servers_of_user, users_of_server):
+        ``servers_of_user[k]`` is the paper's ``M_k`` (servers covering
+        user ``k``); ``users_of_server[m]`` is ``K_m``.
+    """
+    if radius <= 0:
+        raise ConfigurationError(f"radius must be positive, got {radius}")
+    num_servers, num_users = distances.shape
+    covered = distances <= radius
+    servers_of_user = [
+        [m for m in range(num_servers) if covered[m, k]] for k in range(num_users)
+    ]
+    users_of_server = [
+        [k for k in range(num_users) if covered[m, k]] for m in range(num_servers)
+    ]
+    return servers_of_user, users_of_server
+
+
+def clamp_to_square(x: float, y: float, side_length: float) -> Tuple[float, float]:
+    """Reflect a position back into the square (used by mobility)."""
+    def reflect(value: float) -> float:
+        period = 2.0 * side_length
+        value = value % period
+        if value < 0:
+            value += period
+        return value if value <= side_length else period - value
+
+    return reflect(x), reflect(y)

@@ -1,0 +1,112 @@
+"""End-to-end latency (paper eqs. 4-5) and the feasibility indicator I1.
+
+For a user ``k`` requesting model ``i`` from server ``m``:
+
+* if ``m`` covers ``k`` (associated): ``T = D_i / C̄_{m,k} + t_{k,i}``;
+* otherwise the model is relayed through the best associated server
+  ``m' ∈ M_k``: ``T = min_{m'} (D_i / C_{m,m'} + D_i / C̄_{m',k}) + t_{k,i}``.
+
+``I1[m, k, i] = (T_{m,k,i} <= T̄_{k,i})`` is the only thing the placement
+problem needs from the physical layer, so :class:`LatencyModel`
+precomputes *per-bit* delivery times per (m, k) pair and broadcasts them
+against model sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.topology import NetworkTopology
+
+
+class LatencyModel:
+    """Latency/feasibility computations over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network snapshot.
+    model_sizes_bytes:
+        ``D_i`` per model, shape ``(I,)`` matching the users' QoS vectors.
+    """
+
+    def __init__(self, topology: NetworkTopology, model_sizes_bytes: np.ndarray) -> None:
+        sizes = np.asarray(model_sizes_bytes, dtype=float)
+        if sizes.ndim != 1:
+            raise TopologyError("model_sizes_bytes must be 1-D")
+        if sizes.shape[0] != topology.num_models:
+            raise TopologyError(
+                f"expected {topology.num_models} model sizes, got {sizes.shape[0]}"
+            )
+        if np.any(sizes <= 0):
+            raise TopologyError("model sizes must be positive")
+        self.topology = topology
+        self.model_bits = 8.0 * sizes
+        self.deadlines = np.stack([u.deadlines_s for u in topology.users])
+        self.inference = np.stack([u.inference_latency_s for u in topology.users])
+        self._backhaul_per_bit = self._backhaul_matrix()
+
+    def _backhaul_matrix(self) -> np.ndarray:
+        """Per-bit transfer time between every ordered server pair."""
+        num = self.topology.num_servers
+        per_bit = np.zeros((num, num))
+        for a in range(num):
+            for b in range(num):
+                if a != b:
+                    per_bit[a, b] = 1.0 / self.topology.backhaul.rate(a, b)
+        return per_bit
+
+    # ------------------------------------------------------------------
+    def per_bit_delivery(self, rates: Optional[np.ndarray] = None) -> np.ndarray:
+        """Per-bit delivery time from each server to each user, ``(M, K)``.
+
+        Associated pairs download directly; non-associated pairs take the
+        cheapest relay through an associated server. Entries are ``inf``
+        when no path exists (user covered by nobody).
+
+        Parameters
+        ----------
+        rates:
+            Access rates ``(M, K)`` in bits/s; defaults to the topology's
+            expected rates. Pass faded rates for Monte-Carlo evaluation.
+        """
+        topo = self.topology
+        if rates is None:
+            rates = topo.expected_rates
+        if rates.shape != (topo.num_servers, topo.num_users):
+            raise TopologyError(
+                f"rates must have shape {(topo.num_servers, topo.num_users)}, "
+                f"got {rates.shape}"
+            )
+        covered = topo.coverage_mask
+        with np.errstate(divide="ignore"):
+            access = np.where((rates > 0) & covered, 1.0 / rates, np.inf)
+
+        per_bit = np.full_like(access, np.inf)
+        per_bit[covered] = access[covered]
+        # Relay through the best associated server: for non-associated m,
+        # per_bit[m, k] = min_{m' in M_k} (backhaul(m, m') + access(m', k)).
+        for k in range(topo.num_users):
+            assoc = topo.servers_of_user(k)
+            if not assoc:
+                continue
+            relay = self._backhaul_per_bit[:, assoc] + access[assoc, k][None, :]
+            best = relay.min(axis=1)
+            not_assoc = ~covered[:, k]
+            per_bit[not_assoc, k] = best[not_assoc]
+        return per_bit
+
+    def latency(self, rates: Optional[np.ndarray] = None) -> np.ndarray:
+        """``T_{m,k,i}`` tensor, shape ``(M, K, I)`` (``inf`` = unreachable)."""
+        per_bit = self.per_bit_delivery(rates)
+        return (
+            self.model_bits[None, None, :] * per_bit[:, :, None]
+            + self.inference[None, :, :]
+        )
+
+    def feasibility(self, rates: Optional[np.ndarray] = None) -> np.ndarray:
+        """``I1[m,k,i]``: can server ``m`` serve (k, i) within deadline?"""
+        return self.latency(rates) <= self.deadlines[None, :, :]

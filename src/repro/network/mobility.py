@@ -1,0 +1,173 @@
+"""User mobility (paper §VII-E).
+
+Three mobility classes — pedestrians, bikes, vehicles — each drawing an
+initial speed and orientation, then re-drawing acceleration and angular
+velocity at the start of every time slot (5 s slots in the paper). Users
+reflect off the simulation-area boundary so the population density stays
+uniform over long horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.geometry import Point, clamp_to_square
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class MobilityClass:
+    """Parameter ranges of one mobility pattern.
+
+    All ranges are inclusive ``(low, high)`` pairs; speeds in m/s,
+    accelerations in m/s², angular velocity in rad/s.
+    """
+
+    name: str
+    initial_speed: Tuple[float, float]
+    acceleration: Tuple[float, float]
+    angular_velocity: Tuple[float, float]
+    max_speed: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("initial_speed", "acceleration", "angular_velocity"):
+            low, high = getattr(self, field_name)
+            if low > high:
+                raise ConfigurationError(
+                    f"{field_name} range must be ordered, got ({low}, {high})"
+                )
+        if self.initial_speed[0] < 0:
+            raise ConfigurationError("speeds must be non-negative")
+        if self.max_speed <= 0:
+            raise ConfigurationError("max_speed must be positive")
+
+
+#: Paper §VII-E parameters for the three user classes.
+PEDESTRIAN = MobilityClass(
+    "pedestrian",
+    initial_speed=(0.5, 1.8),
+    acceleration=(-0.3, 0.3),
+    angular_velocity=(-np.pi / 4, np.pi / 4),
+    max_speed=2.5,
+)
+BIKE = MobilityClass(
+    "bike",
+    initial_speed=(2.0, 8.0),
+    acceleration=(-1.0, 1.0),
+    angular_velocity=(-np.pi / 3, np.pi / 3),
+    max_speed=10.0,
+)
+VEHICLE = MobilityClass(
+    "vehicle",
+    initial_speed=(5.5, 20.0),
+    acceleration=(-3.0, 3.0),
+    angular_velocity=(-np.pi / 2, np.pi / 2),
+    max_speed=25.0,
+)
+
+DEFAULT_CLASSES = (PEDESTRIAN, BIKE, VEHICLE)
+
+
+@dataclass
+class MobilityState:
+    """Kinematic state of one user."""
+
+    x: float
+    y: float
+    speed: float
+    orientation: float
+    mobility_class: MobilityClass
+
+    @property
+    def position(self) -> Point:
+        """Current position as a :class:`Point`."""
+        return Point(self.x, self.y)
+
+
+class MobilityModel:
+    """Advance a population of users through time slots.
+
+    Parameters
+    ----------
+    side_length:
+        Side of the square simulation area (metres).
+    slot_duration_s:
+        Length of one time slot (paper: 5 s).
+    classes:
+        Mobility classes users are assigned to (round-robin by default).
+    """
+
+    def __init__(
+        self,
+        side_length: float,
+        slot_duration_s: float = 5.0,
+        classes: Sequence[MobilityClass] = DEFAULT_CLASSES,
+    ) -> None:
+        if side_length <= 0:
+            raise ConfigurationError("side_length must be positive")
+        if slot_duration_s <= 0:
+            raise ConfigurationError("slot_duration_s must be positive")
+        if not classes:
+            raise ConfigurationError("at least one mobility class is required")
+        self.side_length = side_length
+        self.slot_duration_s = slot_duration_s
+        self.classes = tuple(classes)
+
+    def initial_states(
+        self, positions: Sequence[Point], seed: SeedLike = None
+    ) -> List[MobilityState]:
+        """Assign classes round-robin and draw initial speeds/orientations."""
+        rng = as_generator(seed)
+        states: List[MobilityState] = []
+        for index, point in enumerate(positions):
+            cls = self.classes[index % len(self.classes)]
+            speed = float(rng.uniform(*cls.initial_speed))
+            orientation = float(rng.uniform(0.0, np.pi))
+            states.append(
+                MobilityState(point.x, point.y, speed, orientation, cls)
+            )
+        return states
+
+    def step(self, states: Sequence[MobilityState], seed: SeedLike = None) -> List[MobilityState]:
+        """Advance every user by one slot; returns new states.
+
+        At the slot boundary each user draws an acceleration and an angular
+        velocity from its class ranges, then moves for the whole slot with
+        the updated speed and heading (speed clamped to ``[0, max_speed]``;
+        positions reflect off the area boundary).
+        """
+        rng = as_generator(seed)
+        dt = self.slot_duration_s
+        advanced: List[MobilityState] = []
+        for state in states:
+            cls = state.mobility_class
+            acceleration = float(rng.uniform(*cls.acceleration))
+            angular = float(rng.uniform(*cls.angular_velocity))
+            speed = float(np.clip(state.speed + acceleration * dt, 0.0, cls.max_speed))
+            orientation = (state.orientation + angular * dt) % (2.0 * np.pi)
+            x = state.x + speed * np.cos(orientation) * dt
+            y = state.y + speed * np.sin(orientation) * dt
+            x, y = clamp_to_square(x, y, self.side_length)
+            advanced.append(MobilityState(x, y, speed, orientation, cls))
+        return advanced
+
+    def trajectory(
+        self,
+        positions: Sequence[Point],
+        num_slots: int,
+        seed: SeedLike = None,
+    ) -> List[List[Point]]:
+        """Positions over ``num_slots`` slots (index 0 = initial positions)."""
+        if num_slots < 0:
+            raise ConfigurationError("num_slots must be non-negative")
+        rng = as_generator(seed)
+        states = self.initial_states(positions, rng)
+        frames = [[state.position for state in states]]
+        for _ in range(num_slots):
+            states = self.step(states, rng)
+            frames.append([state.position for state in states])
+        return frames

@@ -1,0 +1,228 @@
+"""Network topology: servers + users + channel + backhaul, indexed.
+
+:class:`NetworkTopology` glues the geometry, allocation and channel pieces
+together and exposes the matrices the latency model and solvers consume:
+
+* server-to-user distances ``(M, K)``;
+* association (coverage) sets ``M_k`` and ``K_m``;
+* expected per-pair rates ``C̄_{m,k}`` for associated pairs (eq. 1), with
+  bandwidth/power split across each server's expected active users.
+
+Topologies are immutable; mobility produces new instances via
+:meth:`NetworkTopology.with_user_positions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.backhaul import Backhaul
+from repro.network.channel import ChannelModel
+from repro.network.geometry import Point, coverage_sets, pairwise_distances
+from repro.network.servers import EdgeServer
+from repro.network.users import User
+
+
+class NetworkTopology:
+    """A snapshot of the edge network.
+
+    Parameters
+    ----------
+    servers:
+        The ``M`` edge servers; ids must equal their list position.
+    users:
+        The ``K`` users; ids must equal their list position, and all QoS
+        vectors must cover the same number of models.
+    channel:
+        Channel model used for expected/faded rates.
+    backhaul:
+        Edge-to-edge links.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[EdgeServer],
+        users: Sequence[User],
+        channel: Optional[ChannelModel] = None,
+        backhaul: Optional[Backhaul] = None,
+    ) -> None:
+        if not servers:
+            raise TopologyError("topology requires at least one server")
+        if not users:
+            raise TopologyError("topology requires at least one user")
+        for index, server in enumerate(servers):
+            if server.server_id != index:
+                raise TopologyError(
+                    f"server at position {index} has id {server.server_id}"
+                )
+        num_models = users[0].num_models
+        for index, user in enumerate(users):
+            if user.user_id != index:
+                raise TopologyError(f"user at position {index} has id {user.user_id}")
+            if user.num_models != num_models:
+                raise TopologyError("all users must cover the same model count")
+
+        self.servers: Tuple[EdgeServer, ...] = tuple(servers)
+        self.users: Tuple[User, ...] = tuple(users)
+        self.channel = channel or ChannelModel()
+        self.backhaul = backhaul or Backhaul()
+
+        self._distances = pairwise_distances(
+            [s.position for s in self.servers], [u.position for u in self.users]
+        )
+        # Coverage uses each server's own radius (possibly heterogeneous).
+        radii = np.array([s.coverage_radius_m for s in self.servers])
+        covered = self._distances <= radii[:, None]
+        self._covered = covered
+        self._servers_of_user: List[List[int]] = [
+            [m for m in range(self.num_servers) if covered[m, k]]
+            for k in range(self.num_users)
+        ]
+        self._users_of_server: List[List[int]] = [
+            [k for k in range(self.num_users) if covered[m, k]]
+            for m in range(self.num_servers)
+        ]
+        self._allocations = self._compute_allocations()
+        self._expected_rates = self._compute_expected_rates()
+
+    # ------------------------------------------------------------------
+    # Shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        """``M``."""
+        return len(self.servers)
+
+    @property
+    def num_users(self) -> int:
+        """``K``."""
+        return len(self.users)
+
+    @property
+    def num_models(self) -> int:
+        """``I`` (inferred from the users' QoS vectors)."""
+        return self.users[0].num_models
+
+    @property
+    def distances(self) -> np.ndarray:
+        """``(M, K)`` server-to-user distances in metres."""
+        return self._distances
+
+    @property
+    def coverage_mask(self) -> np.ndarray:
+        """``(M, K)`` boolean association mask."""
+        return self._covered
+
+    def servers_of_user(self, user_id: int) -> List[int]:
+        """The paper's ``M_k``: servers covering user ``user_id``."""
+        self._check_user(user_id)
+        return list(self._servers_of_user[user_id])
+
+    def users_of_server(self, server_id: int) -> List[int]:
+        """The paper's ``K_m``: users covered by server ``server_id``."""
+        self._check_server(server_id)
+        return list(self._users_of_server[server_id])
+
+    # ------------------------------------------------------------------
+    # Radio resources
+    # ------------------------------------------------------------------
+    def _compute_allocations(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-(m, k) expected bandwidth and power shares."""
+        bandwidth = np.zeros_like(self._distances)
+        power = np.zeros_like(self._distances)
+        for m, server in enumerate(self.servers):
+            associated = self._users_of_server[m]
+            if not associated:
+                continue
+            for k in associated:
+                share_b, share_p = server.per_user_share(
+                    len(associated), self.users[k].active_probability
+                )
+                bandwidth[m, k] = share_b
+                power[m, k] = share_p
+        return bandwidth, power
+
+    @property
+    def bandwidth_allocation(self) -> np.ndarray:
+        """``(M, K)`` expected bandwidth shares ``B̄_{m,k}`` (0 if not associated)."""
+        return self._allocations[0]
+
+    @property
+    def power_allocation(self) -> np.ndarray:
+        """``(M, K)`` expected power shares ``P̄_{m,k}`` (0 if not associated)."""
+        return self._allocations[1]
+
+    def _compute_expected_rates(self) -> np.ndarray:
+        bandwidth, power = self._allocations
+        rates = np.zeros_like(self._distances)
+        mask = self._covered & (bandwidth > 0)
+        if mask.any():
+            rates[mask] = self.channel.expected_rate(
+                power[mask], bandwidth[mask], self._distances[mask]
+            )
+        return rates
+
+    @property
+    def expected_rates(self) -> np.ndarray:
+        """``(M, K)`` expected rates ``C̄_{m,k}`` in bits/s (0 if not associated)."""
+        return self._expected_rates
+
+    def faded_rates(self, fading_gains: np.ndarray) -> np.ndarray:
+        """Instantaneous rates under channel power gains ``|h|²``.
+
+        ``fading_gains`` must be ``(M, K)``; entries for non-associated
+        pairs are ignored.
+        """
+        if fading_gains.shape != self._distances.shape:
+            raise TopologyError(
+                f"fading gains must have shape {self._distances.shape}, "
+                f"got {fading_gains.shape}"
+            )
+        bandwidth, power = self._allocations
+        rates = np.zeros_like(self._distances)
+        mask = self._covered & (bandwidth > 0)
+        if mask.any():
+            rates[mask] = self.channel.faded_rate(
+                power[mask],
+                bandwidth[mask],
+                self._distances[mask],
+                fading_gains[mask],
+            )
+        return rates
+
+    # ------------------------------------------------------------------
+    # Derived topologies
+    # ------------------------------------------------------------------
+    def with_user_positions(self, positions: Sequence[Point]) -> "NetworkTopology":
+        """A new topology with users moved to ``positions``.
+
+        Association sets, allocations and expected rates are recomputed —
+        exactly what the mobility study needs between time slots.
+        """
+        if len(positions) != self.num_users:
+            raise TopologyError(
+                f"expected {self.num_users} positions, got {len(positions)}"
+            )
+        moved = [
+            user.moved_to(position) for user, position in zip(self.users, positions)
+        ]
+        return NetworkTopology(self.servers, moved, self.channel, self.backhaul)
+
+    # ------------------------------------------------------------------
+    def _check_user(self, user_id: int) -> None:
+        if not 0 <= user_id < self.num_users:
+            raise TopologyError(f"unknown user id {user_id}")
+
+    def _check_server(self, server_id: int) -> None:
+        if not 0 <= server_id < self.num_servers:
+            raise TopologyError(f"unknown server id {server_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"NetworkTopology(M={self.num_servers}, K={self.num_users}, "
+            f"I={self.num_models})"
+        )

@@ -1,0 +1,85 @@
+"""End users: positions, activity, QoS deadlines and inference latency.
+
+Each user ``k`` carries a per-model QoS deadline ``T̄_{k,i}`` (the paper
+draws them uniformly from [0.5, 1] s) and a per-model on-device inference
+latency ``t_{k,i}``. The deadline covers downloading *plus* inference
+(eqs. 4-5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.geometry import Point
+
+
+@dataclass(frozen=True)
+class User:
+    """One end user.
+
+    Attributes
+    ----------
+    user_id:
+        Dense index ``k`` of the user.
+    position:
+        Location in the simulation area (metres).
+    deadlines_s:
+        ``T̄_{k,i}`` per model: E2E latency budget, shape ``(I,)``.
+    inference_latency_s:
+        ``t_{k,i}`` per model: on-device inference time, shape ``(I,)``.
+    active_probability:
+        ``p_A``: probability the user is active in a slot.
+    """
+
+    user_id: int
+    position: Point
+    deadlines_s: np.ndarray
+    inference_latency_s: np.ndarray
+    active_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ConfigurationError("user_id must be non-negative")
+        deadlines = np.asarray(self.deadlines_s, dtype=float)
+        inference = np.asarray(self.inference_latency_s, dtype=float)
+        if deadlines.ndim != 1 or inference.ndim != 1:
+            raise ConfigurationError("deadlines and inference latency must be 1-D")
+        if deadlines.shape != inference.shape:
+            raise ConfigurationError(
+                "deadlines and inference latency must have equal length"
+            )
+        if np.any(deadlines <= 0):
+            raise ConfigurationError("deadlines must be positive")
+        if np.any(inference < 0):
+            raise ConfigurationError("inference latency must be non-negative")
+        if not 0 < self.active_probability <= 1:
+            raise ConfigurationError("active_probability must be in (0, 1]")
+        object.__setattr__(self, "deadlines_s", deadlines)
+        object.__setattr__(self, "inference_latency_s", inference)
+
+    @property
+    def num_models(self) -> int:
+        """Number of models the QoS vectors cover."""
+        return int(self.deadlines_s.shape[0])
+
+    def download_budget_s(self) -> np.ndarray:
+        """Remaining time for pure downloading: ``T̄_{k,i} - t_{k,i}``.
+
+        May contain non-positive entries for (user, model) pairs whose
+        inference alone already exceeds the deadline — those pairs can
+        never be cache hits.
+        """
+        return self.deadlines_s - self.inference_latency_s
+
+    def moved_to(self, position: Point) -> "User":
+        """A copy of this user at a new position (mobility support)."""
+        return User(
+            user_id=self.user_id,
+            position=position,
+            deadlines_s=self.deadlines_s,
+            inference_latency_s=self.inference_latency_s,
+            active_probability=self.active_probability,
+        )

@@ -1,0 +1,755 @@
+"""Per-figure/table reproduction entry points.
+
+Each ``figN_*`` function regenerates the corresponding paper artefact and
+returns a structured result whose ``to_table()`` prints the same rows or
+series the paper plots. Scale knobs (`num_topologies`, evaluation mode)
+default to laptop-friendly values; pass ``num_topologies=100`` and
+``evaluation="monte_carlo"`` for the paper's full averaging.
+
+Index (see DESIGN.md §3):
+
+* :func:`fig1_accuracy_vs_frozen` — motivation curve (substituted model).
+* :func:`table1_library_construction` — two-round fine-tuning settings.
+* :func:`fig4a_hit_vs_capacity` / :func:`fig4b_hit_vs_servers` /
+  :func:`fig4c_hit_vs_users` — special case, Spec vs Gen vs Independent.
+* :func:`fig5a_hit_vs_capacity` / :func:`fig5b_hit_vs_servers` /
+  :func:`fig5c_hit_vs_users` — general case, Gen vs Independent.
+* :func:`fig6a_optimality_gap` / :func:`fig6b_runtime_general` — hit
+  ratio and runtime against the exhaustive optimum / Spec.
+* :func:`fig7_mobility_robustness` — fixed placement under mobility.
+* ``ablation_*`` — our extra studies of the design decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
+from repro.core.spec import TrimCachingSpec
+from repro.models.accuracy import ANIMAL_CURVE, TRANSPORTATION_CURVE
+from repro.models.generators import GeneralCaseConfig, build_general_case_library
+from repro.sim.config import ScenarioConfig
+from repro.sim.mobility_eval import MobilityStudy
+from repro.sim.runner import ExperimentResult, SweepRunner
+from repro.sim.scenario import build_scenario
+from repro.utils.rng import RngFactory
+from repro.utils.stats import RunningStats, SeriesStats
+from repro.utils.tables import format_table
+from repro.utils.units import GB
+
+#: The paper's capacity sweep (Figs. 4a / 5a).
+CAPACITY_SWEEP_GB = (0.5, 0.75, 1.0, 1.25, 1.5)
+#: The paper's server-count sweep (Figs. 4b / 5b).
+SERVER_SWEEP = (6, 8, 10, 12, 14)
+#: The paper's user-count sweep (Figs. 4c / 5c).
+USER_SWEEP = (10, 20, 30, 40, 50)
+
+#: The paper's library has 300 models and each user requests 30 of them
+#: ("I = 30" in the figure captions). Both the library and the per-server
+#: capacity shrink by ``scale`` in our default runs — the paper itself
+#: notes that proportionally reducing storage and library size "will not
+#: impact the phenomenon observed" (§VII-A). scale=1.0 restores the full
+#: setting.
+PAPER_LIBRARY_SIZE = 300
+PAPER_REQUESTS_PER_USER = 30
+DEFAULT_SCALE = 0.2
+
+
+def _scaled_library(scale: float) -> int:
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    return max(2, round(PAPER_LIBRARY_SIZE * scale))
+
+
+def _scaled_requests(scale: float) -> int:
+    return min(PAPER_REQUESTS_PER_USER, _scaled_library(scale))
+
+
+def _special_algorithms(epsilon: float = 0.1) -> Dict[str, Any]:
+    return {
+        "TrimCaching Spec": TrimCachingSpec(epsilon=epsilon),
+        "TrimCaching Gen": TrimCachingGen(),
+        "Independent Caching": IndependentCaching(),
+    }
+
+
+def _general_algorithms() -> Dict[str, Any]:
+    return {
+        "TrimCaching Gen": TrimCachingGen(),
+        "Independent Caching": IndependentCaching(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Fig. 1 and Table I
+# ----------------------------------------------------------------------
+@dataclass
+class Fig1Result:
+    """Accuracy vs. frozen depth for the two Fig. 1 tasks."""
+
+    depths: np.ndarray
+    transportation: np.ndarray
+    animal: np.ndarray
+
+    @property
+    def average_drop_at_90pct(self) -> float:
+        """Mean accuracy drop with ~90% of layers frozen (paper: ~4.7%)."""
+        index = int(np.searchsorted(self.depths, 97))
+        drop_t = self.transportation[0] - self.transportation[index]
+        drop_a = self.animal[0] - self.animal[index]
+        return float((drop_t + drop_a) / 2.0)
+
+    def to_table(self) -> str:
+        """Series table matching Fig. 1's axes."""
+        rows = [
+            [int(d), float(t), float(a)]
+            for d, t, a in zip(self.depths, self.transportation, self.animal)
+        ]
+        return format_table(
+            ["frozen layers", "transportation acc", "animal acc"],
+            rows,
+            title="Fig. 1 — accuracy vs. frozen bottom layers (ResNet-50)",
+        )
+
+
+def fig1_accuracy_vs_frozen(step: int = 10) -> Fig1Result:
+    """Regenerate Fig. 1 from the calibrated degradation curves."""
+    if step < 1:
+        raise ValueError("step must be at least 1")
+    depths = np.arange(0, 107 + 1, step)
+    if depths[-1] != 107:
+        depths = np.append(depths, 107)
+    return Fig1Result(
+        depths=depths,
+        transportation=TRANSPORTATION_CURVE.curve(depths.tolist()),
+        animal=ANIMAL_CURVE.curve(depths.tolist()),
+    )
+
+
+@dataclass
+class Table1Result:
+    """The general-case construction settings plus realised library stats."""
+
+    groups: Mapping[str, Sequence[str]]
+    num_models: int
+    num_blocks: int
+    num_shared_blocks: int
+    savings_ratio: float
+
+    def to_table(self) -> str:
+        """Render Table I plus the realised sharing statistics."""
+        rows = [
+            [first, ", ".join(seconds)] for first, seconds in self.groups.items()
+        ]
+        settings = format_table(
+            ["First-round fine-tuning", "Second-round fine-tuning"],
+            rows,
+            title="Table I — fine-tuning settings",
+        )
+        stats = format_table(
+            ["metric", "value"],
+            [
+                ["models", self.num_models],
+                ["parameter blocks", self.num_blocks],
+                ["shared blocks", self.num_shared_blocks],
+                ["dedup storage savings", f"{self.savings_ratio:.1%}"],
+            ],
+            title="Realised general-case library",
+        )
+        return settings + "\n\n" + stats
+
+
+def table1_library_construction(
+    num_models: int = 300, seed: int = 0
+) -> Table1Result:
+    """Build the Table-I general library and report its sharing stats."""
+    config = GeneralCaseConfig(num_models=num_models)
+    library = build_general_case_library(config, seed)
+    stats = library.sharing_stats()
+    return Table1Result(
+        groups=config.groups,
+        num_models=stats.num_models,
+        num_blocks=stats.num_blocks,
+        num_shared_blocks=stats.num_shared_blocks,
+        savings_ratio=stats.savings_ratio,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 4 and 5 — the sweep family
+# ----------------------------------------------------------------------
+def _base_config(library_case: str, **overrides) -> ScenarioConfig:
+    return ScenarioConfig(library_case=library_case).with_overrides(**overrides)
+
+
+def _sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    config_for,
+    algorithms: Dict[str, Any],
+    base: ScenarioConfig,
+    num_topologies: int,
+    evaluation: str,
+    num_realizations: int,
+    seed: int,
+) -> ExperimentResult:
+    runner = SweepRunner(
+        base_config=base,
+        algorithms=algorithms,
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+    )
+    return runner.run(name, x_label, x_values, config_for)
+
+
+def fig4a_hit_vs_capacity(
+    num_topologies: int = 20,
+    capacities_gb: Sequence[float] = CAPACITY_SWEEP_GB,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> ExperimentResult:
+    """Fig. 4(a): special case, hit ratio vs. capacity (M=10, I=30).
+
+    ``capacities_gb`` are the paper's values; both they and the library
+    shrink by ``scale`` (see :data:`DEFAULT_SCALE`).
+    """
+    base = _base_config(
+        "special",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+    )
+    return _sweep(
+        "Fig. 4(a) — special case: cache hit ratio vs. capacity Q",
+        "Q (GB, paper scale)",
+        list(capacities_gb),
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * scale * GB)),
+        _special_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+    )
+
+
+def fig4b_hit_vs_servers(
+    num_topologies: int = 20,
+    server_counts: Sequence[int] = SERVER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> ExperimentResult:
+    """Fig. 4(b): special case, hit ratio vs. M (Q=1 GB, I=30)."""
+    base = _base_config(
+        "special",
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 4(b) — special case: cache hit ratio vs. number of edge servers M",
+        "M",
+        list(server_counts),
+        lambda cfg, m: cfg.with_overrides(num_servers=int(m)),
+        _special_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+    )
+
+
+def fig4c_hit_vs_users(
+    num_topologies: int = 20,
+    user_counts: Sequence[int] = USER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> ExperimentResult:
+    """Fig. 4(c): special case, hit ratio vs. K (Q=1 GB, M=10)."""
+    base = _base_config(
+        "special",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 4(c) — special case: cache hit ratio vs. number of users K",
+        "K",
+        list(user_counts),
+        lambda cfg, k: cfg.with_overrides(num_users=int(k)),
+        _special_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+    )
+
+
+def fig5a_hit_vs_capacity(
+    num_topologies: int = 20,
+    capacities_gb: Sequence[float] = CAPACITY_SWEEP_GB,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> ExperimentResult:
+    """Fig. 5(a): general case, hit ratio vs. capacity (M=10, I=30)."""
+    base = _base_config(
+        "general",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+    )
+    return _sweep(
+        "Fig. 5(a) — general case: cache hit ratio vs. capacity Q",
+        "Q (GB, paper scale)",
+        list(capacities_gb),
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * scale * GB)),
+        _general_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+    )
+
+
+def fig5b_hit_vs_servers(
+    num_topologies: int = 20,
+    server_counts: Sequence[int] = SERVER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> ExperimentResult:
+    """Fig. 5(b): general case, hit ratio vs. M (Q=1 GB, I=30)."""
+    base = _base_config(
+        "general",
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 5(b) — general case: cache hit ratio vs. number of edge servers M",
+        "M",
+        list(server_counts),
+        lambda cfg, m: cfg.with_overrides(num_servers=int(m)),
+        _general_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+    )
+
+
+def fig5c_hit_vs_users(
+    num_topologies: int = 20,
+    user_counts: Sequence[int] = USER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+) -> ExperimentResult:
+    """Fig. 5(c): general case, hit ratio vs. K (Q=1 GB, M=10)."""
+    base = _base_config(
+        "general",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 5(c) — general case: cache hit ratio vs. number of users K",
+        "K",
+        list(user_counts),
+        lambda cfg, k: cfg.with_overrides(num_users=int(k)),
+        _general_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 — optimality gap and runtime
+# ----------------------------------------------------------------------
+@dataclass
+class AlgorithmComparison:
+    """Hit ratio + runtime per algorithm (one Fig. 6 panel)."""
+
+    name: str
+    hit_ratios: Dict[str, RunningStats]
+    runtimes: Dict[str, RunningStats]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def mean_hit(self, algorithm: str) -> float:
+        """Mean hit ratio of one algorithm."""
+        return self.hit_ratios[algorithm].mean
+
+    def mean_runtime(self, algorithm: str) -> float:
+        """Mean wall-clock runtime of one algorithm."""
+        return self.runtimes[algorithm].mean
+
+    def speedup(self, fast: str, slow: str) -> float:
+        """How many times faster ``fast`` is than ``slow``."""
+        fast_time = self.mean_runtime(fast)
+        if fast_time == 0:
+            return float("inf")
+        return self.mean_runtime(slow) / fast_time
+
+    def to_table(self) -> str:
+        """Rows: algorithm, mean/std hit ratio, mean runtime."""
+        rows = []
+        for algorithm in self.hit_ratios:
+            rows.append(
+                [
+                    algorithm,
+                    self.hit_ratios[algorithm].mean,
+                    self.hit_ratios[algorithm].std,
+                    f"{self.runtimes[algorithm].mean:.3e}",
+                ]
+            )
+        return format_table(
+            ["algorithm", "hit ratio (mean)", "hit ratio (std)", "runtime (s)"],
+            rows,
+            title=self.name,
+        )
+
+
+def _compare_algorithms(
+    name: str,
+    config: ScenarioConfig,
+    algorithms: Dict[str, Any],
+    num_topologies: int,
+    seed: int,
+) -> AlgorithmComparison:
+    hit_ratios = {algo: RunningStats() for algo in algorithms}
+    runtimes = {algo: RunningStats() for algo in algorithms}
+    factory = RngFactory(seed)
+    library = None
+    for topology_index in range(num_topologies):
+        scenario = build_scenario(
+            config, hash((seed, topology_index)) % (2**31), library=library
+        )
+        library = scenario.library  # fixed across topologies
+        for algo_name, solver in algorithms.items():
+            result = solver.solve(scenario.instance)
+            hit_ratios[algo_name].add(result.hit_ratio)
+            runtimes[algo_name].add(result.runtime_s)
+    return AlgorithmComparison(
+        name=name,
+        hit_ratios=hit_ratios,
+        runtimes=runtimes,
+        metadata={"config": config, "num_topologies": num_topologies},
+    )
+
+
+def fig6a_optimality_gap(
+    num_topologies: int = 10, seed: int = 0
+) -> AlgorithmComparison:
+    """Fig. 6(a): Spec (ε=0) and Gen vs. the exhaustive optimum.
+
+    Paper setting: 400 m area, M=2, K=6, Q=0.1 GB, special-case library
+    with 9 models requested per user.
+    """
+    config = ScenarioConfig(
+        library_case="special",
+        num_servers=2,
+        num_users=6,
+        num_models=9,
+        area_side_m=400.0,
+        storage_bytes=int(0.1 * GB),
+    )
+    algorithms = {
+        "Optimal (exhaustive)": ExhaustiveSearch(),
+        "TrimCaching Spec": TrimCachingSpec(epsilon=0.0),
+        "TrimCaching Gen": TrimCachingGen(),
+    }
+    return _compare_algorithms(
+        "Fig. 6(a) — special case: hit ratio and runtime vs. optimal",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def fig6b_runtime_general(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Fig. 6(b): Spec vs. Gen on a general-case library.
+
+    Paper setting: Q=0.2 GB, 27 models per user; Spec's combination
+    traversal is exponential here, demonstrating why Gen exists.
+    """
+    config = ScenarioConfig(
+        library_case="general",
+        num_servers=2,
+        num_users=6,
+        num_models=27,
+        area_side_m=400.0,
+        storage_bytes=int(0.2 * GB),
+    )
+    algorithms = {
+        "TrimCaching Spec": TrimCachingSpec(
+            epsilon=0.0, max_combinations=50_000_000
+        ),
+        "TrimCaching Gen": TrimCachingGen(),
+    }
+    return _compare_algorithms(
+        "Fig. 6(b) — general case: Spec vs. Gen runtime",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — mobility robustness
+# ----------------------------------------------------------------------
+@dataclass
+class Fig7Result:
+    """Hit-ratio time series per algorithm under user mobility."""
+
+    times_s: np.ndarray
+    series: Dict[str, SeriesStats]
+
+    def degradation(self, algorithm: str) -> float:
+        """Relative hit-ratio drop from t=0 to the horizon end."""
+        means = self.series[algorithm].means
+        if means[0] == 0:
+            return 0.0
+        return float((means[0] - means[-1]) / means[0])
+
+    def to_table(self) -> str:
+        """Rows: time (min), one mean column per algorithm."""
+        algorithms = list(self.series)
+        headers = ["time (min)"] + algorithms
+        rows = []
+        for index, t in enumerate(self.times_s):
+            row: List[Any] = [float(t / 60.0)]
+            row.extend(
+                float(self.series[algo].means[index]) for algo in algorithms
+            )
+            rows.append(row)
+        return format_table(
+            headers, rows, title="Fig. 7 — cache hit ratio over time (mobility)"
+        )
+
+
+def fig7_mobility_robustness(
+    num_runs: int = 5,
+    horizon_s: float = 7200.0,
+    sample_every: int = 60,
+    seed: int = 0,
+) -> Fig7Result:
+    """Fig. 7: fixed Spec/Gen placements under 2 h of user mobility.
+
+    Paper setting: M=10, K=10, Q=1 GB, special case; pedestrian/bike/
+    vehicle users, 5 s slots.
+    """
+    config = ScenarioConfig(
+        library_case="special",
+        num_servers=10,
+        num_users=10,
+        num_models=30,
+        storage_bytes=1 * GB,
+    )
+    algorithms = {
+        "TrimCaching Spec": TrimCachingSpec(epsilon=0.1),
+        "TrimCaching Gen": TrimCachingGen(),
+    }
+    times: Optional[np.ndarray] = None
+    series: Dict[str, SeriesStats] = {}
+    for run_index in range(num_runs):
+        scenario = build_scenario(config, hash((seed, run_index)) % (2**31))
+        study = MobilityStudy(scenario, sample_every=sample_every)
+        for algo_name, solver in algorithms.items():
+            result = solver.solve(scenario.instance)
+            trace = study.run(
+                result.placement, horizon_s=horizon_s, seed=(seed, run_index)
+            )
+            if times is None:
+                times = trace.times_s
+            if algo_name not in series:
+                series[algo_name] = SeriesStats(times.tolist())
+            series[algo_name].add_run(trace.hit_ratios.tolist())
+    assert times is not None
+    return Fig7Result(times_s=times, series=series)
+
+
+# ----------------------------------------------------------------------
+# Ablations (ours)
+# ----------------------------------------------------------------------
+def ablation_epsilon(
+    epsilons: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.5, 0.9),
+    num_topologies: int = 5,
+    seed: int = 0,
+) -> AlgorithmComparison:
+    """Hit ratio / runtime of Spec across the rounding parameter ε."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=4, num_users=12, num_models=12
+    )
+    algorithms: Dict[str, Any] = {
+        f"Spec (eps={eps})": TrimCachingSpec(epsilon=eps) for eps in epsilons
+    }
+    algorithms["Spec (exact)"] = TrimCachingSpec(epsilon=0.0)
+    return _compare_algorithms(
+        "Ablation — Spec rounding parameter ε",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def ablation_lazy_greedy(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Lazy vs. naive Gen greedy: identical quality, different runtime."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=8, num_users=20, num_models=30
+    )
+    algorithms = {
+        "Gen (lazy)": TrimCachingGen(accelerated=True),
+        "Gen (naive)": TrimCachingGen(accelerated=False),
+    }
+    return _compare_algorithms(
+        "Ablation — lazy vs. naive greedy",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def ablation_server_order(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Spec's successive-greedy server ordering strategies."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=6, num_users=15, num_models=15
+    )
+    algorithms = {
+        f"Spec (order={order})": TrimCachingSpec(epsilon=0.1, server_order=order)
+        for order in ("index", "capacity", "coverage")
+    }
+    return _compare_algorithms(
+        "Ablation — successive-greedy server order",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+@dataclass
+class ReplacementAblation:
+    """Per-threshold outcome of the §IV-A re-placement loop."""
+
+    thresholds: Sequence[float]
+    mean_hit: Dict[float, RunningStats]
+    replacements: Dict[float, RunningStats]
+    bytes_shipped: Dict[float, RunningStats]
+
+    def to_table(self) -> str:
+        """Rows: threshold, time-avg hit ratio, replacements, traffic."""
+        rows = []
+        for threshold in self.thresholds:
+            rows.append(
+                [
+                    "never" if threshold == 0 else f"{threshold:.2f}",
+                    self.mean_hit[threshold].mean,
+                    self.replacements[threshold].mean,
+                    f"{self.bytes_shipped[threshold].mean / 1e6:.0f} MB",
+                ]
+            )
+        return format_table(
+            [
+                "replace when below",
+                "time-avg hit ratio",
+                "replacements",
+                "backbone traffic",
+            ],
+            rows,
+            title="Ablation — threshold-triggered re-placement (2 h horizon)",
+        )
+
+
+def ablation_replacement(
+    thresholds: Sequence[float] = (0.0, 0.8, 0.9, 1.0),
+    num_runs: int = 3,
+    horizon_s: float = 7200.0,
+    seed: int = 0,
+) -> ReplacementAblation:
+    """§IV-A extension: hit ratio vs. backbone cost of re-placement."""
+    from repro.sim.replacement import ReplacementPolicy
+
+    config = ScenarioConfig(
+        library_case="special",
+        num_servers=4,
+        num_users=10,
+        num_models=15,
+        storage_bytes=150_000_000,
+    )
+    mean_hit = {t: RunningStats() for t in thresholds}
+    replacements = {t: RunningStats() for t in thresholds}
+    bytes_shipped = {t: RunningStats() for t in thresholds}
+    for run_index in range(num_runs):
+        scenario = build_scenario(config, hash((seed, run_index)) % (2**31))
+        for threshold in thresholds:
+            policy = ReplacementPolicy(
+                scenario, TrimCachingGen(), threshold=threshold, check_every=12
+            )
+            trace = policy.run(horizon_s=horizon_s, seed=(seed, run_index))
+            mean_hit[threshold].add(trace.mean_hit_ratio)
+            replacements[threshold].add(trace.num_replacements)
+            bytes_shipped[threshold].add(trace.total_bytes_shipped)
+    return ReplacementAblation(
+        thresholds=list(thresholds),
+        mean_hit=mean_hit,
+        replacements=replacements,
+        bytes_shipped=bytes_shipped,
+    )
+
+
+def ablation_dp_backend(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Value-DP vs. weight-DP vs. exact knapsack backends inside Spec."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=4, num_users=12, num_models=12
+    )
+    algorithms = {
+        "Spec (value_dp)": TrimCachingSpec(epsilon=0.1, backend="value_dp"),
+        "Spec (weight_dp)": TrimCachingSpec(epsilon=0.1, backend="weight_dp"),
+        "Spec (exact)": TrimCachingSpec(epsilon=0.0, backend="exact"),
+    }
+    return _compare_algorithms(
+        "Ablation — Spec knapsack backend",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )

@@ -1,0 +1,178 @@
+"""Threshold-triggered model re-placement under mobility.
+
+The paper solves a snapshot problem and argues (§IV-A) that in practice
+the operator would "re-initiate model placement when the performance
+degrades to a certain threshold", trading hit ratio against the backbone
+bandwidth that shipping models to edge servers consumes. Fig. 7 shows the
+degradation is slow, so replacement can be rare.
+
+This module implements that loop — the paper describes it but never
+builds it: users move, the hit ratio of the standing placement is
+monitored, and when it drops below ``threshold`` times the value it had
+when last (re)placed, the solver runs again on the current snapshot. The
+run records every replacement and the backhaul bytes it moved (the cost
+the paper wants to keep low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.objective import hit_ratio
+from repro.core.placement import Placement
+from repro.errors import ConfigurationError
+from repro.network.mobility import DEFAULT_CLASSES, MobilityClass, MobilityModel
+from repro.sim.scenario import Scenario
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class ReplacementEvent:
+    """One re-placement: when it fired and what it cost."""
+
+    time_s: float
+    hit_ratio_before: float
+    hit_ratio_after: float
+    bytes_shipped: int
+
+
+@dataclass
+class ReplacementTrace:
+    """Outcome of a monitored run with threshold-triggered replacement."""
+
+    times_s: np.ndarray
+    hit_ratios: np.ndarray
+    events: List[ReplacementEvent] = field(default_factory=list)
+
+    @property
+    def num_replacements(self) -> int:
+        """How many times placement was re-initiated."""
+        return len(self.events)
+
+    @property
+    def total_bytes_shipped(self) -> int:
+        """Backbone traffic spent on re-placements."""
+        return sum(event.bytes_shipped for event in self.events)
+
+    @property
+    def mean_hit_ratio(self) -> float:
+        """Time-averaged hit ratio over the horizon."""
+        return float(self.hit_ratios.mean())
+
+
+def placement_delta_bytes(
+    scenario: Scenario, old: Placement, new: Placement
+) -> int:
+    """Bytes the backbone must ship to turn ``old`` into ``new``.
+
+    Per server, the cost is the total size of parameter blocks needed by
+    the new cached set that the old cached set did not already hold
+    (evictions are free; shared blocks already present are reused).
+    """
+    instance = scenario.instance
+    total = 0
+    for server in range(instance.num_servers):
+        old_blocks = set()
+        for model_index in old.models_on(server):
+            old_blocks |= instance.model_blocks[model_index]
+        new_blocks = set()
+        for model_index in new.models_on(server):
+            new_blocks |= instance.model_blocks[model_index]
+        for block_id in new_blocks - old_blocks:
+            total += instance.block_sizes[block_id]
+    return total
+
+
+class ReplacementPolicy:
+    """Monitor a placement under mobility; re-solve when it degrades.
+
+    Parameters
+    ----------
+    scenario:
+        The initial snapshot.
+    solver:
+        Any placement solver (``solve(instance) -> SolverResult``).
+    threshold:
+        Re-place when the current hit ratio falls below
+        ``threshold * hit_ratio_at_last_placement``. ``0`` never
+        replaces (reproduces :class:`~repro.sim.mobility_eval.MobilityStudy`).
+    slot_duration_s / check_every / classes:
+        Mobility settings; the hit ratio is evaluated (and the trigger
+        checked) every ``check_every`` slots.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        solver: Any,
+        threshold: float = 0.9,
+        slot_duration_s: float = 5.0,
+        check_every: int = 12,
+        classes: Sequence[MobilityClass] = DEFAULT_CLASSES,
+    ) -> None:
+        if not 0 <= threshold <= 1:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {threshold}"
+            )
+        if check_every < 1:
+            raise ConfigurationError("check_every must be at least 1")
+        self.scenario = scenario
+        self.solver = solver
+        self.threshold = threshold
+        self.check_every = check_every
+        self.model = MobilityModel(
+            side_length=scenario.config.area_side_m,
+            slot_duration_s=slot_duration_s,
+            classes=classes,
+        )
+
+    def run(self, horizon_s: float = 7200.0, seed: SeedLike = 0) -> ReplacementTrace:
+        """Simulate the monitor-and-replace loop over ``horizon_s``."""
+        if horizon_s < 0:
+            raise ConfigurationError("horizon_s must be non-negative")
+        rng = as_generator(seed)
+        num_slots = int(horizon_s / self.model.slot_duration_s)
+
+        placement = self.solver.solve(self.scenario.instance).placement
+        reference = hit_ratio(self.scenario.instance, placement)
+
+        positions = [user.position for user in self.scenario.topology.users]
+        states = self.model.initial_states(positions, rng)
+
+        times: List[float] = [0.0]
+        ratios: List[float] = [reference]
+        events: List[ReplacementEvent] = []
+        for slot in range(1, num_slots + 1):
+            states = self.model.step(states, rng)
+            if slot % self.check_every != 0 and slot != num_slots:
+                continue
+            now = slot * self.model.slot_duration_s
+            topology = self.scenario.topology.with_user_positions(
+                [state.position for state in states]
+            )
+            instance = self.scenario.rebuild_instance(topology)
+            current = hit_ratio(instance, placement)
+            if self.threshold > 0 and current < self.threshold * reference:
+                new_placement = self.solver.solve(instance).placement
+                after = hit_ratio(instance, new_placement)
+                events.append(
+                    ReplacementEvent(
+                        time_s=now,
+                        hit_ratio_before=current,
+                        hit_ratio_after=after,
+                        bytes_shipped=placement_delta_bytes(
+                            self.scenario, placement, new_placement
+                        ),
+                    )
+                )
+                placement = new_placement
+                reference = after
+                current = after
+            times.append(now)
+            ratios.append(current)
+        return ReplacementTrace(
+            times_s=np.array(times), hit_ratios=np.array(ratios), events=events
+        )

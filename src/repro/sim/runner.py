@@ -1,0 +1,174 @@
+"""Multi-topology sweep runner and experiment results.
+
+The paper's figures sweep one parameter (capacity, server count, user
+count), averaging each point over 100 random topologies. ``SweepRunner``
+reproduces that shape: for every sweep value and topology seed it builds a
+scenario, runs each algorithm, scores the placement (expected hit ratio by
+default, Rayleigh Monte Carlo optionally), and aggregates mean/std series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import SolverResult
+from repro.sim.config import ScenarioConfig
+from repro.sim.evaluator import PlacementEvaluator
+from repro.sim.scenario import Scenario, build_scenario
+from repro.utils.stats import SeriesStats
+from repro.utils.tables import format_table
+
+#: An algorithm is anything with ``solve(instance) -> SolverResult``.
+Solver = Any
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced figure/table: x values + one series per algorithm."""
+
+    name: str
+    x_label: str
+    x_values: Sequence[float]
+    series: Dict[str, SeriesStats]
+    runtimes: Dict[str, SeriesStats] = field(default_factory=dict)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def mean_of(self, algorithm: str) -> np.ndarray:
+        """Mean hit-ratio series of one algorithm."""
+        return self.series[algorithm].means
+
+    def to_table(self, float_format: str = ".4f") -> str:
+        """Render the result as a paper-style ASCII table."""
+        algorithms = list(self.series)
+        headers = [self.x_label]
+        for algorithm in algorithms:
+            headers.extend([f"{algorithm} (mean)", f"{algorithm} (std)"])
+        rows = []
+        for index, x_value in enumerate(self.x_values):
+            row: List[Any] = [x_value]
+            for algorithm in algorithms:
+                stats = self.series[algorithm]
+                row.extend([float(stats.means[index]), float(stats.stds[index])])
+            rows.append(row)
+        return format_table(headers, rows, float_format=float_format, title=self.name)
+
+
+class SweepRunner:
+    """Run algorithms over a one-parameter sweep of scenarios.
+
+    Parameters
+    ----------
+    base_config:
+        Scenario configuration shared by all sweep points.
+    algorithms:
+        Mapping name -> solver. Fresh solver state is the caller's
+        responsibility (all built-in solvers are stateless).
+    num_topologies:
+        Independent topologies per sweep point (paper: 100).
+    evaluation:
+        ``"expected"`` scores with the objective ``U(X)``;
+        ``"monte_carlo"`` additionally averages over Rayleigh fading.
+    num_realizations:
+        Fading draws per topology for Monte-Carlo evaluation.
+    seed:
+        Root seed; topology ``t`` of sweep point ``v`` derives its own
+        stream, so points and repetitions are independent.
+    share_library:
+        Build the model library once per sweep point and reuse it across
+        topologies (the paper fixes the library; topologies vary only in
+        geometry/QoS/demand).
+    """
+
+    def __init__(
+        self,
+        base_config: ScenarioConfig,
+        algorithms: Mapping[str, Solver],
+        num_topologies: int = 20,
+        evaluation: str = "expected",
+        num_realizations: int = 200,
+        seed: int = 0,
+        share_library: bool = True,
+    ) -> None:
+        if not algorithms:
+            raise ValueError("at least one algorithm is required")
+        if num_topologies < 1:
+            raise ValueError("num_topologies must be at least 1")
+        if evaluation not in ("expected", "monte_carlo"):
+            raise ValueError(
+                f"evaluation must be 'expected' or 'monte_carlo', got {evaluation!r}"
+            )
+        self.base_config = base_config
+        self.algorithms = dict(algorithms)
+        self.num_topologies = num_topologies
+        self.evaluation = evaluation
+        self.num_realizations = num_realizations
+        self.seed = seed
+        self.share_library = share_library
+
+    # ------------------------------------------------------------------
+    def _score(
+        self, scenario: Scenario, result: SolverResult, seed: int
+    ) -> float:
+        if self.evaluation == "expected":
+            return result.hit_ratio
+        evaluator = PlacementEvaluator(scenario)
+        outcome = evaluator.monte_carlo_hit_ratio(
+            result.placement, self.num_realizations, seed
+        )
+        return outcome.mean
+
+    def run(
+        self,
+        name: str,
+        x_label: str,
+        x_values: Sequence[float],
+        config_for: Callable[[ScenarioConfig, float], ScenarioConfig],
+    ) -> ExperimentResult:
+        """Execute the sweep.
+
+        Parameters
+        ----------
+        config_for:
+            Maps ``(base_config, x_value)`` to the sweep point's config.
+        """
+        series = {
+            algo: SeriesStats(list(x_values)) for algo in self.algorithms
+        }
+        runtimes = {
+            algo: SeriesStats(list(x_values)) for algo in self.algorithms
+        }
+        from repro.sim.scenario import build_library  # local: avoids cycle
+        from repro.utils.rng import RngFactory
+
+        for x_index, x_value in enumerate(x_values):
+            config = config_for(self.base_config, x_value)
+            library = None
+            if self.share_library:
+                factory = RngFactory(self.seed)
+                library = build_library(
+                    config, factory.child(f"library-x{x_index}")
+                )
+            for topology_index in range(self.num_topologies):
+                scenario_seed = hash((self.seed, x_index, topology_index)) % (2**31)
+                scenario = build_scenario(config, scenario_seed, library=library)
+                for algo_name, solver in self.algorithms.items():
+                    result = solver.solve(scenario.instance)
+                    score = self._score(scenario, result, scenario_seed)
+                    series[algo_name].add(x_index, score)
+                    runtimes[algo_name].add(x_index, result.runtime_s)
+        return ExperimentResult(
+            name=name,
+            x_label=x_label,
+            x_values=list(x_values),
+            series=series,
+            runtimes=runtimes,
+            metadata={
+                "num_topologies": self.num_topologies,
+                "evaluation": self.evaluation,
+                "seed": self.seed,
+            },
+        )

@@ -1,0 +1,210 @@
+"""Scenario assembly: config + RNG -> one solvable snapshot.
+
+A :class:`Scenario` bundles the network topology, model library, demand
+matrix and the derived :class:`~repro.core.placement.PlacementInstance`.
+Construction is fully deterministic given ``(config, seed)``; independent
+seeds yield the independent topologies the paper averages over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.placement import PlacementInstance
+from repro.models.generators import (
+    GeneralCaseConfig,
+    SpecialCaseConfig,
+    build_general_case_library,
+    build_special_case_library,
+)
+from repro.models.library import ModelLibrary
+from repro.models.popularity import ZipfPopularity
+from repro.network.backhaul import Backhaul
+from repro.network.channel import ChannelModel
+from repro.network.geometry import uniform_points
+from repro.network.latency import LatencyModel
+from repro.network.servers import EdgeServer
+from repro.network.topology import NetworkTopology
+from repro.network.users import User
+from repro.sim.config import ScenarioConfig
+from repro.utils.rng import RngFactory
+
+
+@dataclass
+class Scenario:
+    """One fully materialised simulation snapshot."""
+
+    config: ScenarioConfig
+    topology: NetworkTopology
+    library: ModelLibrary
+    demand: np.ndarray
+    latency_model: LatencyModel
+    instance: PlacementInstance
+    seed: Optional[int] = None
+
+    @property
+    def num_servers(self) -> int:
+        """``M``."""
+        return self.topology.num_servers
+
+    @property
+    def num_users(self) -> int:
+        """``K``."""
+        return self.topology.num_users
+
+    @property
+    def num_models(self) -> int:
+        """``I``."""
+        return self.library.num_models
+
+    def rebuild_instance(self, topology: NetworkTopology) -> PlacementInstance:
+        """A new instance for moved users (same library/demand/capacity)."""
+        latency = LatencyModel(topology, self._model_sizes())
+        return PlacementInstance(
+            library=self.library,
+            demand=self.demand,
+            feasible=latency.feasibility(),
+            capacities=self.instance.capacities,
+        )
+
+    def _model_sizes(self) -> np.ndarray:
+        return np.array(
+            [self.library.model_size(i) for i in self.library.model_ids],
+            dtype=float,
+        )
+
+
+def build_library(config: ScenarioConfig, seed) -> ModelLibrary:
+    """Build the library dictated by ``config.library_case``."""
+    if config.library_case == "special":
+        return build_special_case_library(
+            SpecialCaseConfig(num_models=config.num_models), seed
+        )
+    return build_general_case_library(
+        GeneralCaseConfig(num_models=config.num_models), seed
+    )
+
+
+def _build_demand(config: ScenarioConfig, rng) -> np.ndarray:
+    """Zipf demand, optionally restricted to per-user request subsets.
+
+    The paper's per-figure "I = 30" denotes how many models each user may
+    request from the (much larger) library; requests within the subset
+    are Zipf-distributed and each row sums to one.
+    """
+    popularity = ZipfPopularity(
+        exponent=config.zipf_exponent,
+        per_user_permutation=config.per_user_popularity,
+    )
+    if config.requests_per_user is None:
+        return popularity.probabilities(
+            config.num_users, config.num_models, rng
+        )
+    subset_size = config.requests_per_user
+    compact = popularity.probabilities(config.num_users, subset_size, rng)
+    demand = np.zeros((config.num_users, config.num_models))
+    for user in range(config.num_users):
+        chosen = rng.choice(config.num_models, size=subset_size, replace=False)
+        demand[user, chosen] = compact[user]
+    return demand
+
+
+def build_scenario(
+    config: ScenarioConfig = ScenarioConfig(),
+    seed: Optional[int] = 0,
+    library: Optional[ModelLibrary] = None,
+) -> Scenario:
+    """Materialise one snapshot of the paper's §VII-A setup.
+
+    Parameters
+    ----------
+    config:
+        Scenario knobs.
+    seed:
+        Root seed; child streams are derived per component, so two
+        scenarios differing only in the seed share no randomness.
+    library:
+        Reuse an existing library instead of generating one (the paper
+        fixes the library across topologies; the sweep runner uses this).
+    """
+    factory = RngFactory(seed)
+    if library is None:
+        library = build_library(config, factory.child("library"))
+    if library.num_models != config.num_models:
+        # The caller supplied a pre-built library; follow its size.
+        config = config.with_overrides(num_models=library.num_models)
+
+    channel = ChannelModel(
+        antenna_gain=config.antenna_gain,
+        path_loss_exponent=config.path_loss_exponent,
+    )
+    backhaul = Backhaul(default_rate_bps=config.backhaul_rate_bps)
+
+    server_positions = uniform_points(
+        config.num_servers, config.area_side_m, factory.child("server-positions")
+    )
+    capacities = (
+        list(config.storage_bytes_per_server)
+        if config.storage_bytes_per_server is not None
+        else [config.storage_bytes] * config.num_servers
+    )
+    servers = [
+        EdgeServer(
+            server_id=index,
+            position=position,
+            storage_bytes=capacities[index],
+            total_bandwidth_hz=config.total_bandwidth_hz,
+            total_power_watts=config.total_power_watts,
+            coverage_radius_m=config.coverage_radius_m,
+        )
+        for index, position in enumerate(server_positions)
+    ]
+
+    user_positions = uniform_points(
+        config.num_users, config.area_side_m, factory.child("user-positions")
+    )
+    qos_rng = factory.child("qos")
+    users = [
+        User(
+            user_id=index,
+            position=position,
+            deadlines_s=qos_rng.uniform(
+                config.deadline_range_s[0],
+                config.deadline_range_s[1],
+                size=config.num_models,
+            ),
+            inference_latency_s=qos_rng.uniform(
+                config.inference_latency_range_s[0],
+                config.inference_latency_range_s[1],
+                size=config.num_models,
+            ),
+            active_probability=config.active_probability,
+        )
+        for index, position in enumerate(user_positions)
+    ]
+
+    topology = NetworkTopology(servers, users, channel, backhaul)
+    demand = _build_demand(config, factory.child("demand"))
+
+    sizes = np.array(
+        [library.model_size(i) for i in library.model_ids], dtype=float
+    )
+    latency_model = LatencyModel(topology, sizes)
+    instance = PlacementInstance(
+        library=library,
+        demand=demand,
+        feasible=latency_model.feasibility(),
+        capacities=capacities,
+    )
+    return Scenario(
+        config=config,
+        topology=topology,
+        library=library,
+        demand=demand,
+        latency_model=latency_model,
+        instance=instance,
+        seed=seed,
+    )

@@ -1,0 +1,117 @@
+"""Persist placements and experiment results.
+
+Operators need placement decisions to outlive the process that computed
+them (the cloud pushes models in an offline stage, §III-A), and
+reproduced figures should be comparable across runs. This module
+round-trips :class:`~repro.core.placement.Placement` objects and exports
+:class:`~repro.sim.runner.ExperimentResult` series as JSON and CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from repro.core.placement import Placement
+from repro.errors import PlacementError
+from repro.sim.runner import ExperimentResult
+
+#: Format tag embedded in every serialised placement.
+_PLACEMENT_FORMAT = "trimcaching-placement-v1"
+
+
+def placement_to_dict(placement: Placement) -> Dict[str, Any]:
+    """A JSON-ready description of a placement."""
+    return {
+        "format": _PLACEMENT_FORMAT,
+        "num_servers": placement.num_servers,
+        "num_models": placement.num_models,
+        "servers": {
+            str(server): placement.models_on(server)
+            for server in range(placement.num_servers)
+            if placement.models_on(server)
+        },
+    }
+
+
+def placement_from_dict(payload: Dict[str, Any]) -> Placement:
+    """Rebuild a placement from :func:`placement_to_dict` output."""
+    if payload.get("format") != _PLACEMENT_FORMAT:
+        raise PlacementError(
+            f"unrecognised placement payload format: {payload.get('format')!r}"
+        )
+    try:
+        num_servers = int(payload["num_servers"])
+        num_models = int(payload["num_models"])
+        servers = payload["servers"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlacementError(f"malformed placement payload: {exc}") from exc
+    placement = Placement.from_server_sets(
+        num_servers,
+        num_models,
+        {int(server): indices for server, indices in servers.items()},
+    )
+    return placement
+
+
+def placement_to_json(placement: Placement) -> str:
+    """Serialise a placement to a JSON string."""
+    return json.dumps(placement_to_dict(placement), indent=1, sort_keys=True)
+
+
+def placement_from_json(text: str) -> Placement:
+    """Parse a placement from :func:`placement_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlacementError(f"invalid placement JSON: {exc}") from exc
+    return placement_from_dict(payload)
+
+
+def experiment_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-ready description of a reproduced figure."""
+    return {
+        "name": result.name,
+        "x_label": result.x_label,
+        "x_values": [float(x) for x in result.x_values],
+        "series": {
+            algo: {
+                "mean": [float(v) for v in stats.means],
+                "std": [float(v) for v in stats.stds],
+                "count": [int(v) for v in stats.counts],
+            }
+            for algo, stats in result.series.items()
+        },
+        "metadata": {
+            key: value
+            for key, value in result.metadata.items()
+            if isinstance(value, (str, int, float, bool))
+        },
+    }
+
+
+def experiment_to_json(result: ExperimentResult) -> str:
+    """Serialise a reproduced figure to JSON."""
+    return json.dumps(experiment_to_dict(result), indent=1, sort_keys=True)
+
+
+def experiment_to_csv(result: ExperimentResult) -> str:
+    """Serialise a reproduced figure to CSV (one row per sweep point)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    algorithms = list(result.series)
+    header = [result.x_label]
+    for algo in algorithms:
+        header.extend([f"{algo} mean", f"{algo} std"])
+    writer.writerow(header)
+    for index, x_value in enumerate(result.x_values):
+        row = [x_value]
+        for algo in algorithms:
+            stats = result.series[algo]
+            row.extend(
+                [f"{stats.means[index]:.6f}", f"{stats.stds[index]:.6f}"]
+            )
+        writer.writerow(row)
+    return buffer.getvalue()

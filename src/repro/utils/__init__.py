@@ -1,0 +1,44 @@
+"""Shared low-level utilities: RNG management, units, stats, tables."""
+
+from repro.utils.rng import RngFactory, as_generator
+from repro.utils.stats import RunningStats, SeriesStats, aggregate_series
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    GB,
+    GBPS,
+    KB,
+    MB,
+    MBPS,
+    MHZ,
+    dbm_to_watts,
+    format_size,
+    watts_to_dbm,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "RunningStats",
+    "SeriesStats",
+    "aggregate_series",
+    "format_table",
+    "GB",
+    "GBPS",
+    "KB",
+    "MB",
+    "MBPS",
+    "MHZ",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "format_size",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

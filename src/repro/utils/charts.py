@@ -1,0 +1,104 @@
+"""Plain-text line charts for terminal output.
+
+The CLI reproduces *figures*; this module renders them as ASCII charts so
+trends are visible without matplotlib (which the offline environment does
+not ship). One chart plots several named series against shared x values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Markers assigned to series in declaration order.
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 15,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render named series as a text line chart.
+
+    Each series is drawn with its own marker; a legend follows the plot.
+    Values are linearly binned onto a ``width x height`` character grid.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 10 or height < 3:
+        raise ValueError("chart must be at least 10x3 characters")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    if len(x_values) < 2:
+        raise ValueError("at least two x values are required")
+
+    all_values = [float(v) for values in series.values() for v in values]
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high <= low:
+        high = low + 1.0
+    x_low, x_high = float(min(x_values)), float(max(x_values))
+    if x_high <= x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def to_row(y: float) -> int:
+        fraction = (float(y) - low) / (high - low)
+        fraction = min(max(fraction, 0.0), 1.0)
+        return (height - 1) - round(fraction * (height - 1))
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        # Connect consecutive points with interpolated markers.
+        for (x0, y0), (x1, y1) in zip(
+            zip(x_values, values), zip(list(x_values)[1:], list(values)[1:])
+        ):
+            c0, c1 = to_col(float(x0)), to_col(float(x1))
+            steps = max(abs(c1 - c0), 1)
+            for step in range(steps + 1):
+                t = step / steps
+                col = round(c0 + t * (c1 - c0))
+                row = to_row(float(y0) + t * (float(y1) - float(y0)))
+                grid[row][col] = marker
+
+    y_labels = [f"{high:.3g}", f"{(low + high) / 2:.3g}", f"{low:.3g}"]
+    label_width = max(len(label) for label in y_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        if row == 0:
+            label = y_labels[0]
+        elif row == height // 2:
+            label = y_labels[1]
+        elif row == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_width)} |{''.join(grid[row])}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_left, x_right = f"{x_low:.3g}", f"{x_high:.3g}"
+    padding = width - len(x_left) - len(x_right)
+    lines.append(
+        f"{' ' * label_width}  {x_left}{' ' * max(padding, 1)}{x_right}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}"
+        for index, name in enumerate(series)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)

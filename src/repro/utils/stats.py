@@ -1,0 +1,180 @@
+"""Streaming statistics and series aggregation for experiment results.
+
+The paper reports each point as a mean with a standard-deviation error bar
+over 100 network topologies. :class:`RunningStats` accumulates those moments
+without storing samples (Welford's algorithm), and :class:`SeriesStats`
+aggregates one such accumulator per sweep point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+
+class RunningStats:
+    """Numerically stable streaming mean / variance (Welford).
+
+    >>> s = RunningStats()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     s.add(x)
+    >>> s.mean
+    2.0
+    """
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot accumulate NaN")
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations accumulated."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with fewer than two samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (``inf`` when empty)."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (``-inf`` when empty)."""
+        return self._max
+
+    def confidence_interval(self, z: float = 1.96) -> float:
+        """Half-width of the normal-approximation CI of the mean."""
+        if self._count < 2:
+            return 0.0
+        return z * self.std / math.sqrt(self._count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"RunningStats(n={self._count}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+
+@dataclass
+class SeriesStats:
+    """Mean/std series over a parameter sweep, one accumulator per x value."""
+
+    x_values: Sequence[float]
+    _stats: List[RunningStats] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self._stats:
+            self._stats = [RunningStats() for _ in self.x_values]
+        if len(self._stats) != len(self.x_values):
+            raise ValueError("one accumulator required per x value")
+
+    def add(self, index: int, value: float) -> None:
+        """Add one observation at sweep position ``index``."""
+        self._stats[index].add(value)
+
+    def add_run(self, values: Sequence[float]) -> None:
+        """Add a full sweep (one value per x) from a single run."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"expected {len(self.x_values)} values, got {len(values)}"
+            )
+        for index, value in enumerate(values):
+            self.add(index, value)
+
+    @property
+    def means(self) -> np.ndarray:
+        """Vector of per-point means."""
+        return np.array([s.mean for s in self._stats])
+
+    @property
+    def stds(self) -> np.ndarray:
+        """Vector of per-point standard deviations."""
+        return np.array([s.std for s in self._stats])
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Vector of per-point observation counts."""
+        return np.array([s.count for s in self._stats])
+
+
+def aggregate_series(
+    x_values: Sequence[float],
+    runs: Sequence[Sequence[float]],
+) -> SeriesStats:
+    """Build a :class:`SeriesStats` from a list of per-run sweeps."""
+    series = SeriesStats(x_values)
+    for run in runs:
+        series.add_run(run)
+    return series
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """One-shot mean/std/min/max summary of a sample."""
+    stats = RunningStats()
+    stats.extend(values)
+    return {
+        "count": float(stats.count),
+        "mean": stats.mean,
+        "std": stats.std,
+        "min": stats.minimum if stats.count else float("nan"),
+        "max": stats.maximum if stats.count else float("nan"),
+    }
+
+
+def relative_gain(candidate: float, baseline: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline``.
+
+    Matches how the paper quotes e.g. "33.93% higher than Independent
+    Caching": ``(candidate - baseline) / baseline``.
+    """
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero for a relative gain")
+    return (candidate - baseline) / baseline
+
+
+def average_relative_gain(
+    candidate: Sequence[float], baseline: Sequence[float]
+) -> float:
+    """Mean of pointwise relative gains across a sweep."""
+    if len(candidate) != len(baseline):
+        raise ValueError("series must have equal length")
+    if len(candidate) == 0:
+        raise ValueError("series must be non-empty")
+    gains = [relative_gain(c, b) for c, b in zip(candidate, baseline)]
+    return float(np.mean(gains))

@@ -1,0 +1,224 @@
+"""Tests for Algorithm-2 machinery: combinations and knapsack backends."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import (
+    enumerate_shared_combinations,
+    knapsack_branch_and_bound,
+    knapsack_value_dp,
+    knapsack_weight_dp,
+)
+from repro.errors import SolverError
+from repro.models.blocks import ParameterBlock
+from repro.models.finetune import FineTuner, make_resnet_root
+from repro.models.library import ModelLibrary
+from repro.models.model import Model
+from repro.data.resnet import RESNET18
+
+
+def brute_force_knapsack(values, weights, capacity):
+    """Reference optimum by full enumeration."""
+    best = 0.0
+    n = len(values)
+    for r in range(n + 1):
+        for subset in itertools.combinations(range(n), r):
+            weight = sum(weights[i] for i in subset)
+            if weight <= capacity:
+                best = max(best, sum(values[i] for i in subset))
+    return best
+
+
+knapsack_instances = st.tuples(
+    st.lists(st.floats(0.01, 10.0), min_size=1, max_size=10),
+    st.lists(st.integers(0, 50), min_size=1, max_size=10),
+    st.integers(0, 120),
+).map(
+    lambda t: (
+        t[0][: min(len(t[0]), len(t[1]))],
+        t[1][: min(len(t[0]), len(t[1]))],
+        t[2],
+    )
+)
+
+
+class TestBranchAndBound:
+    @given(knapsack_instances)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, instance):
+        values, weights, capacity = instance
+        best, selected = knapsack_branch_and_bound(values, weights, capacity)
+        assert best == pytest.approx(brute_force_knapsack(values, weights, capacity))
+        assert sum(weights[i] for i in selected) <= capacity
+        assert best == pytest.approx(sum(values[i] for i in selected))
+
+    def test_empty(self):
+        assert knapsack_branch_and_bound([], [], 10) == (0.0, [])
+
+    def test_zero_capacity(self):
+        best, selected = knapsack_branch_and_bound([5.0], [3], 0)
+        assert best == 0.0 and selected == []
+
+    def test_zero_weight_items_always_taken(self):
+        best, selected = knapsack_branch_and_bound([1.0, 2.0], [0, 10], 5)
+        assert best == pytest.approx(1.0)
+        assert selected == [0]
+
+
+class TestValueDp:
+    @given(knapsack_instances)
+    @settings(max_examples=150, deadline=None)
+    def test_fptas_guarantee(self, instance):
+        values, weights, capacity = instance
+        epsilon = 0.1
+        optimum = brute_force_knapsack(values, weights, capacity)
+        best, selected = knapsack_value_dp(values, weights, capacity, epsilon)
+        assert sum(weights[i] for i in selected) <= capacity
+        assert best >= (1 - epsilon) * optimum - 1e-9
+
+    def test_small_epsilon_is_optimal(self):
+        values = [3.0, 4.0, 5.0]
+        weights = [2, 3, 4]
+        best, _ = knapsack_value_dp(values, weights, 6, epsilon=0.01)
+        assert best == pytest.approx(brute_force_knapsack(values, weights, 6))
+
+    def test_epsilon_zero_rejected(self):
+        with pytest.raises(SolverError):
+            knapsack_value_dp([1.0], [1], 1, epsilon=0.0)
+
+    def test_state_blowup_guarded(self):
+        # Huge value spread at tiny epsilon exceeds max_states.
+        values = [1e-9] + [1.0] * 10
+        with pytest.raises(SolverError):
+            knapsack_value_dp(values, [1] * 11, 11, epsilon=0.001, max_states=100)
+
+    def test_selection_consistent(self):
+        best, selected = knapsack_value_dp([2.0, 3.0], [1, 1], 2, epsilon=0.1)
+        assert sorted(selected) == [0, 1]
+        assert best == pytest.approx(5.0)
+
+
+class TestWeightDp:
+    @given(knapsack_instances)
+    @settings(max_examples=150, deadline=None)
+    def test_exact_with_unit_quantum(self, instance):
+        values, weights, capacity = instance
+        best, selected = knapsack_weight_dp(values, weights, capacity, quantum=1)
+        assert best == pytest.approx(brute_force_knapsack(values, weights, capacity))
+        assert sum(weights[i] for i in selected) <= capacity
+
+    def test_quantisation_is_conservative(self):
+        # Item of weight 11 ceiled to 20 at quantum 10 no longer fits 15.
+        best, selected = knapsack_weight_dp([5.0], [11], 15, quantum=10)
+        assert best == 0.0 and selected == []
+
+    def test_invalid_quantum(self):
+        with pytest.raises(SolverError):
+            knapsack_weight_dp([1.0], [1], 1, quantum=0)
+
+    def test_state_blowup_guarded(self):
+        with pytest.raises(SolverError):
+            knapsack_weight_dp([1.0] * 10, [1] * 10, 10**9, quantum=1, max_states=100)
+
+
+class TestBackendAgreement:
+    @given(knapsack_instances)
+    @settings(max_examples=60, deadline=None)
+    def test_all_backends_feasible_and_ordered(self, instance):
+        values, weights, capacity = instance
+        exact, _ = knapsack_branch_and_bound(values, weights, capacity)
+        approx, _ = knapsack_value_dp(values, weights, capacity, 0.1)
+        weight_exact, _ = knapsack_weight_dp(values, weights, capacity, quantum=1)
+        assert approx <= exact + 1e-9
+        assert weight_exact == pytest.approx(exact)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(SolverError):
+            knapsack_branch_and_bound([1.0], [1, 2], 5)
+
+    def test_negative_inputs(self):
+        with pytest.raises(SolverError):
+            knapsack_branch_and_bound([-1.0], [1], 5)
+        with pytest.raises(SolverError):
+            knapsack_branch_and_bound([1.0], [-1], 5)
+        with pytest.raises(SolverError):
+            knapsack_branch_and_bound([1.0], [1], -5)
+
+
+# ----------------------------------------------------------------------
+# Combination enumeration
+# ----------------------------------------------------------------------
+def chain_library():
+    """Two roots with nested prefix sharing (the special-case shape)."""
+    tuner = FineTuner()
+    root = make_resnet_root(RESNET18)
+    tuner.freeze_bottom(root, 30, name="a")
+    tuner.freeze_bottom(root, 30, name="a2")
+    # Depth-35 prefixes are shared only because two models freeze them.
+    tuner.freeze_bottom(root, 35, name="b")
+    tuner.freeze_bottom(root, 35, name="b2")
+    return tuner.build()
+
+
+def non_nested_library():
+    """Two models with partially overlapping shared sets (not a chain)."""
+    blocks = [ParameterBlock(i, 10) for i in range(4)]
+    models = [
+        Model(0, (0, 1)),
+        Model(1, (1, 2)),
+        Model(2, (0, 2, 3)),
+    ]
+    return ModelLibrary(blocks, models)
+
+
+class TestEnumerateCombinations:
+    def test_no_sharing_single_empty_combo(self, tiny_library):
+        sub = tiny_library.subset([0, 2])  # removes all sharing
+        combos = enumerate_shared_combinations(sub)
+        assert len(combos) == 1
+        assert combos[0].blocks == frozenset()
+        assert combos[0].size_bytes == 0
+
+    def test_prefix_mode_counts_chain_levels(self):
+        library = chain_library()
+        combos = enumerate_shared_combinations(library, mode="prefix")
+        # One chain with two distinct prefixes (30 and 35) -> 3 combos.
+        assert len(combos) == 3
+        sizes = sorted(len(c.blocks) for c in combos)
+        assert sizes == [0, 30, 35]
+
+    def test_exhaustive_mode_counts_subsets(self):
+        library = non_nested_library()
+        shared = len(library.shared_block_ids)
+        combos = enumerate_shared_combinations(library, mode="exhaustive")
+        assert len(combos) == 2**shared
+
+    def test_auto_falls_back_for_non_nested(self):
+        library = non_nested_library()
+        combos = enumerate_shared_combinations(library, mode="auto")
+        assert len(combos) == 2 ** len(library.shared_block_ids)
+
+    def test_prefix_mode_rejects_non_nested(self):
+        with pytest.raises(SolverError):
+            enumerate_shared_combinations(non_nested_library(), mode="prefix")
+
+    def test_max_combinations_guard(self):
+        library = chain_library()
+        with pytest.raises(SolverError):
+            enumerate_shared_combinations(library, max_combinations=2)
+
+    def test_unknown_mode(self):
+        with pytest.raises(SolverError):
+            enumerate_shared_combinations(chain_library(), mode="magic")
+
+    def test_combo_sizes_correct(self):
+        library = chain_library()
+        combos = enumerate_shared_combinations(library, mode="prefix")
+        for combo in combos:
+            assert combo.size_bytes == library.blocks_size(combo.blocks)

@@ -1,0 +1,128 @@
+"""Tests for TrimCaching Gen (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bounds import gamma_bound
+from repro.core.gen import TrimCachingGen
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.objective import hit_ratio, placement_is_feasible, storage_used
+from repro.core.placement import Placement
+
+from tests.core.test_submodular import small_instances
+
+
+class TestBasicBehaviour:
+    def test_respects_capacity(self, tiny_instance):
+        result = TrimCachingGen().solve(tiny_instance)
+        assert placement_is_feasible(tiny_instance, result.placement)
+
+    def test_hit_ratio_matches_placement(self, tiny_instance):
+        result = TrimCachingGen().solve(tiny_instance)
+        assert result.hit_ratio == pytest.approx(
+            hit_ratio(tiny_instance, result.placement)
+        )
+
+    def test_exploits_sharing_on_tiny_instance(self, tiny_instance):
+        # Server 0 (20 MB) can hold models 0 AND 1 only via dedup; the
+        # greedy must find that.
+        result = TrimCachingGen().solve(tiny_instance)
+        on_zero = set(result.placement.models_on(0))
+        assert on_zero == {0, 1}
+        assert storage_used(tiny_instance, result.placement, 0) == 20_000_000
+
+    def test_zero_capacity_places_nothing(self, tiny_library):
+        import numpy as np
+
+        from tests.conftest import make_instance
+
+        instance = make_instance(
+            tiny_library,
+            np.full((2, 3), 0.1),
+            np.ones((2, 2, 3), dtype=bool),
+            [0, 0],
+        )
+        result = TrimCachingGen().solve(instance)
+        assert result.placement.total_placements() == 0
+        assert result.hit_ratio == 0.0
+
+    def test_no_feasible_requests(self, tiny_library):
+        from tests.conftest import make_instance
+
+        instance = make_instance(
+            tiny_library,
+            np.full((2, 3), 0.1),
+            np.zeros((2, 2, 3), dtype=bool),
+            [10**9, 10**9],
+        )
+        result = TrimCachingGen().solve(instance)
+        assert result.hit_ratio == 0.0
+
+    def test_stats_recorded(self, tiny_instance):
+        result = TrimCachingGen().solve(tiny_instance)
+        assert result.stats["greedy_steps"] == result.placement.total_placements()
+        assert result.solver == "TrimCaching Gen"
+
+
+class TestLazyEqualsNaive:
+    @given(small_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_identical_hit_ratio(self, instance):
+        lazy = TrimCachingGen(accelerated=True).solve(instance)
+        naive = TrimCachingGen(accelerated=False).solve(instance)
+        assert lazy.hit_ratio == pytest.approx(naive.hit_ratio, abs=1e-12)
+
+    def test_identical_placement_on_scenarios(self, tight_scenario):
+        lazy = TrimCachingGen(accelerated=True).solve(tight_scenario.instance)
+        naive = TrimCachingGen(accelerated=False).solve(tight_scenario.instance)
+        assert lazy.placement == naive.placement
+
+
+class TestGreedyQuality:
+    @given(small_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_within_gamma_bound_of_optimal(self, instance):
+        """Theorem 3: U(greedy) >= U(optimal) / Γ."""
+        greedy = TrimCachingGen().solve(instance)
+        optimal = ExhaustiveSearch().solve(instance)
+        gamma = gamma_bound(instance)
+        if gamma > 0:
+            assert greedy.hit_ratio >= optimal.hit_ratio / gamma - 1e-9
+        assert greedy.hit_ratio <= optimal.hit_ratio + 1e-9
+
+    def test_near_optimal_on_tight_scenario(self, tight_scenario):
+        """Greedy stays within a constant factor on a realistic instance.
+
+        (The paper's Fig. 6(a) observes a ~1.3% gap on its own setting;
+        our deliberately tight fixture is harder — the greedy lands at
+        ~84% of optimal — so assert a loose 3/4 bound.)
+        """
+        greedy = TrimCachingGen().solve(tight_scenario.instance)
+        optimal = ExhaustiveSearch().solve(tight_scenario.instance)
+        assert greedy.hit_ratio >= 0.75 * optimal.hit_ratio
+
+
+class TestFillZeroGain:
+    def test_fills_leftover_capacity(self, tiny_instance):
+        plain = TrimCachingGen(fill_zero_gain=False).solve(tiny_instance)
+        filled = TrimCachingGen(fill_zero_gain=True).solve(tiny_instance)
+        assert filled.placement.total_placements() >= plain.placement.total_placements()
+        assert placement_is_feasible(tiny_instance, filled.placement)
+        # Filling never changes the objective.
+        assert filled.hit_ratio == pytest.approx(plain.hit_ratio)
+
+    def test_literal_stopping_rule(self, tiny_instance):
+        """After filling, no server can cache any further model."""
+        result = TrimCachingGen(fill_zero_gain=True).solve(tiny_instance)
+        for server in range(tiny_instance.num_servers):
+            cached = set(result.placement.models_on(server))
+            blocks = set()
+            for model_index in cached:
+                blocks |= tiny_instance.model_blocks[model_index]
+            used = tiny_instance.dedup_storage(cached)
+            remaining = int(tiny_instance.capacities[server]) - used
+            for model_index in range(tiny_instance.num_models):
+                if model_index in cached:
+                    continue
+                assert tiny_instance.marginal_storage(model_index, blocks) > remaining

@@ -1,0 +1,235 @@
+"""Tests for TrimCaching Spec (Algorithms 1 + 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.gen import TrimCachingGen
+from repro.core.objective import hit_ratio, placement_is_feasible
+from repro.core.placement import PlacementInstance
+from repro.core.spec import TrimCachingSpec
+from repro.data.resnet import RESNET18
+from repro.errors import ConfigurationError, SolverError
+from repro.models.blocks import ParameterBlock
+from repro.models.finetune import FineTuner, make_resnet_root
+from repro.models.library import ModelLibrary
+from repro.models.model import Model
+
+
+# ----------------------------------------------------------------------
+# Random special-case instances: prefix sharing from a few roots
+# ----------------------------------------------------------------------
+@st.composite
+def special_instances(draw):
+    """Random chain-structured libraries + random demand/feasibility."""
+    num_roots = draw(st.integers(1, 2))
+    num_models = draw(st.integers(2, 5))
+    num_servers = draw(st.integers(1, 2))
+    num_users = draw(st.integers(1, 3))
+
+    # Blocks: per root, a chain of up to 3 shared levels + specifics.
+    blocks = []
+    models = []
+    block_id = 0
+    root_prefixes = []
+    for _ in range(num_roots):
+        depth = draw(st.integers(1, 3))
+        prefix = []
+        for _ in range(depth):
+            blocks.append(ParameterBlock(block_id, draw(st.integers(1, 20))))
+            prefix.append(block_id)
+            block_id += 1
+        root_prefixes.append(prefix)
+
+    for model_id in range(num_models):
+        root = draw(st.integers(0, num_roots - 1))
+        level = draw(st.integers(1, len(root_prefixes[root])))
+        shared = list(root_prefixes[root][:level])
+        n_specific = draw(st.integers(1, 2))
+        specific = []
+        for _ in range(n_specific):
+            blocks.append(ParameterBlock(block_id, draw(st.integers(1, 20))))
+            specific.append(block_id)
+            block_id += 1
+        models.append(Model(model_id, tuple(shared + specific)))
+
+    library = ModelLibrary(blocks, models)
+    demand = np.array(
+        [
+            [draw(st.floats(0.01, 1.0)) for _ in range(num_models)]
+            for _ in range(num_users)
+        ]
+    )
+    feasible = np.array(
+        [
+            [
+                [draw(st.booleans()) for _ in range(num_models)]
+                for _ in range(num_users)
+            ]
+            for _ in range(num_servers)
+        ],
+        dtype=bool,
+    )
+    capacities = [draw(st.integers(0, 120)) for _ in range(num_servers)]
+    return PlacementInstance(library, demand, feasible, capacities)
+
+
+class TestConstruction:
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrimCachingSpec(epsilon=-0.1)
+        with pytest.raises(ConfigurationError):
+            TrimCachingSpec(epsilon=1.5)
+
+    def test_backend_defaults(self):
+        assert TrimCachingSpec(epsilon=0.1).backend == "value_dp"
+        assert TrimCachingSpec(epsilon=0.0).backend == "exact"
+
+    def test_value_dp_needs_positive_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            TrimCachingSpec(epsilon=0.0, backend="value_dp")
+
+    def test_unknown_backend_and_order(self):
+        with pytest.raises(ConfigurationError):
+            TrimCachingSpec(backend="magic")
+        with pytest.raises(ConfigurationError):
+            TrimCachingSpec(server_order="magic")
+
+
+class TestFeasibilityAndBasics:
+    @given(special_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_always_feasible(self, instance):
+        result = TrimCachingSpec(epsilon=0.1).solve(instance)
+        assert placement_is_feasible(instance, result.placement)
+
+    @given(special_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_hit_ratio_consistent(self, instance):
+        result = TrimCachingSpec(epsilon=0.1).solve(instance)
+        assert result.hit_ratio == pytest.approx(
+            hit_ratio(instance, result.placement)
+        )
+
+    def test_stats_recorded(self, tight_scenario):
+        result = TrimCachingSpec(epsilon=0.1).solve(tight_scenario.instance)
+        assert result.stats["num_combinations"] >= 1
+        assert result.stats["epsilon"] == 0.1
+
+    def test_per_server_masses_sum_to_hit_mass(self, tight_scenario):
+        """Eq. (12): U(X̂) = Σ_m Û_m — the I2 bookkeeping is exact."""
+        instance = tight_scenario.instance
+        result = TrimCachingSpec(epsilon=0.1).solve(instance)
+        total_mass = sum(result.stats["per_server_mass"])
+        assert total_mass / instance.total_demand == pytest.approx(
+            result.hit_ratio
+        )
+
+
+class TestOptimality:
+    @given(special_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_exact_spec_beats_half_optimal(self, instance):
+        """Proposition 3 / Theorem 2 with ε=0: U >= U*/2."""
+        spec = TrimCachingSpec(epsilon=0.0).solve(instance)
+        optimal = ExhaustiveSearch().solve(instance)
+        assert spec.hit_ratio >= optimal.hit_ratio / 2.0 - 1e-9
+        assert spec.hit_ratio <= optimal.hit_ratio + 1e-9
+
+    @given(special_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_epsilon_guarantee(self, instance):
+        """Theorem 2: U >= (1-ε)/2 U*."""
+        epsilon = 0.2
+        spec = TrimCachingSpec(epsilon=epsilon).solve(instance)
+        optimal = ExhaustiveSearch().solve(instance)
+        assert spec.hit_ratio >= (1 - epsilon) / 2 * optimal.hit_ratio - 1e-9
+
+    def test_matches_optimum_on_tight_scenario(self, tight_scenario):
+        """The paper's Fig. 6(a) observation: Spec(ε=0) hits the optimum
+        (not guaranteed in general, but holds on typical instances)."""
+        spec = TrimCachingSpec(epsilon=0.0).solve(tight_scenario.instance)
+        optimal = ExhaustiveSearch().solve(tight_scenario.instance)
+        assert spec.hit_ratio == pytest.approx(optimal.hit_ratio, abs=1e-9)
+
+    def test_single_server_exact_spec_is_optimal(self):
+        """With M=1 the successive greedy is exact, so Spec(ε=0) must
+        equal the exhaustive optimum."""
+        tuner = FineTuner()
+        root = make_resnet_root(RESNET18)
+        for index in range(4):
+            tuner.freeze_bottom(root, 30 + index, name=f"m{index}")
+        library = tuner.build()
+        rng = np.random.default_rng(0)
+        demand = rng.uniform(0.1, 1.0, size=(3, 4))
+        feasible = rng.uniform(size=(1, 3, 4)) < 0.8
+        capacity = int(library.model_size(0) * 1.6)
+        instance = PlacementInstance(library, demand, feasible, [capacity])
+        spec = TrimCachingSpec(epsilon=0.0).solve(instance)
+        optimal = ExhaustiveSearch().solve(instance)
+        assert spec.hit_ratio == pytest.approx(optimal.hit_ratio, abs=1e-12)
+
+
+class TestBackendsAgree:
+    @given(special_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_weight_dp_matches_exact(self, instance):
+        """Byte-exact weight DP (quantum=1 via small sizes) == exact BB."""
+        exact = TrimCachingSpec(epsilon=0.0, backend="exact").solve(instance)
+        # Sizes in these instances are tiny ints, so quantum=1 is exact.
+        weight = TrimCachingSpec(epsilon=0.1, backend="weight_dp")
+        # Patch the backend call to quantum=1 via a subclass-free shim:
+        from repro.core import dp as dp_module
+
+        original = dp_module.KNAPSACK_BACKENDS["weight_dp"]
+        dp_module.KNAPSACK_BACKENDS["weight_dp"] = (
+            lambda v, w, c: original(v, w, c, quantum=1)
+        )
+        try:
+            result = weight.solve(instance)
+        finally:
+            dp_module.KNAPSACK_BACKENDS["weight_dp"] = original
+        assert result.hit_ratio == pytest.approx(exact.hit_ratio, abs=1e-9)
+
+
+class TestSpecOnSpecialScenario:
+    def test_beats_or_matches_gen(self, tight_scenario):
+        """The paper's headline: Spec >= Gen on the special case (allow
+        tiny numerical slack)."""
+        spec = TrimCachingSpec(epsilon=0.1).solve(tight_scenario.instance)
+        gen = TrimCachingGen().solve(tight_scenario.instance)
+        assert spec.hit_ratio >= gen.hit_ratio - 0.02
+
+    def test_server_orders_all_feasible(self, tight_scenario):
+        for order in ("index", "capacity", "coverage"):
+            result = TrimCachingSpec(epsilon=0.1, server_order=order).solve(
+                tight_scenario.instance
+            )
+            assert placement_is_feasible(tight_scenario.instance, result.placement)
+
+
+class TestGuards:
+    def test_non_exclusive_specific_blocks_rejected(self):
+        # Two models share a block, a third also contains it -> still
+        # shared; but craft a library whose "specific" block appears in
+        # two models via zero-owner tricks is impossible, so instead test
+        # the library check directly on a healthy library.
+        blocks = [ParameterBlock(0, 5), ParameterBlock(1, 5)]
+        models = [Model(0, (0, 1)), Model(1, (0,))]
+        library = ModelLibrary(blocks, models)
+        assert library.specific_blocks_are_exclusive()
+
+    def test_combination_explosion_guarded(self):
+        tuner = FineTuner()
+        root = make_resnet_root(RESNET18)
+        tuner.freeze_bottom(root, 30, name="a")
+        tuner.freeze_bottom(root, 30, name="b")
+        library = tuner.build()
+        demand = np.full((1, 2), 0.5)
+        feasible = np.ones((1, 1, 2), dtype=bool)
+        instance = PlacementInstance(library, demand, feasible, [10**9])
+        solver = TrimCachingSpec(epsilon=0.1, max_combinations=1)
+        with pytest.raises(SolverError):
+            solver.solve(instance)

@@ -1,0 +1,53 @@
+"""Tests for the synthetic transformer layer table."""
+
+import pytest
+
+from repro.data.transformer import (
+    NANO_LLM,
+    TINY_LLM,
+    TransformerSpec,
+    lora_adapter_params,
+    transformer_layer_table,
+)
+
+
+class TestLayerTable:
+    def test_layer_count(self):
+        table = transformer_layer_table(TINY_LLM)
+        # embed + 4 per block + unembed
+        assert len(table) == 2 + 4 * TINY_LLM.num_layers
+
+    def test_total_params_tiny(self):
+        total = sum(layer.params for layer in transformer_layer_table(TINY_LLM))
+        # GPT-2-small-ish: ~130M with untied embeddings.
+        assert 100e6 < total < 180e6
+
+    def test_nano_is_a_billion_class_model(self):
+        total = sum(layer.params for layer in transformer_layer_table(NANO_LLM))
+        assert 1.0e9 < total < 2.0e9
+
+    def test_embed_first_unembed_last(self):
+        table = transformer_layer_table(TINY_LLM)
+        assert table[0].name == "embed"
+        assert table[-1].name == "unembed"
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            TransformerSpec("bad", num_layers=0, hidden_dim=8, ffn_dim=8, vocab_size=8)
+
+
+class TestLoraAdapter:
+    def test_adapter_is_tiny_fraction(self):
+        backbone = sum(layer.params for layer in transformer_layer_table(NANO_LLM))
+        adapter = lora_adapter_params(NANO_LLM, rank=8)
+        # The paper cites >99% frozen parameters for LoRA.
+        assert adapter / backbone < 0.01
+
+    def test_adapter_scales_linearly_with_rank(self):
+        r8 = lora_adapter_params(TINY_LLM, rank=8)
+        r16 = lora_adapter_params(TINY_LLM, rank=16)
+        assert r16 == 2 * r8
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            lora_adapter_params(TINY_LLM, rank=0)

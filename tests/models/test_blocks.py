@@ -1,0 +1,37 @@
+"""Tests for ParameterBlock."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.models.blocks import ParameterBlock
+
+
+class TestParameterBlock:
+    def test_construction(self):
+        block = ParameterBlock(3, 1024, name="conv1", origin="resnet18")
+        assert block.block_id == 3
+        assert block.size_bytes == 1024
+        assert block.origin == "resnet18"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(LibraryError):
+            ParameterBlock(-1, 10)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(LibraryError):
+            ParameterBlock(0, 0)
+        with pytest.raises(LibraryError):
+            ParameterBlock(0, -5)
+
+    def test_frozen(self):
+        block = ParameterBlock(0, 10)
+        with pytest.raises(AttributeError):
+            block.size_bytes = 20
+
+    def test_str_uses_name(self):
+        assert "conv1" in str(ParameterBlock(0, 10, name="conv1"))
+        assert "block7" in str(ParameterBlock(7, 10))
+
+    def test_equality_by_value(self):
+        assert ParameterBlock(0, 10) == ParameterBlock(0, 10)
+        assert ParameterBlock(0, 10) != ParameterBlock(0, 11)

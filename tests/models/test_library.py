@@ -1,0 +1,150 @@
+"""Tests for ModelLibrary: indexes, sharing structure, storage accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LibraryError
+from repro.models.blocks import ParameterBlock
+from repro.models.library import ModelLibrary
+from repro.models.model import Model
+from repro.utils.units import MB
+
+
+def library_from(spec):
+    """Build a library from {model_id: {block_id: size}} shorthand."""
+    sizes = {}
+    models = []
+    for model_id, blocks in spec.items():
+        for block_id, size in blocks.items():
+            if block_id in sizes and sizes[block_id] != size:
+                raise AssertionError("inconsistent test spec")
+            sizes[block_id] = size
+        models.append(Model(model_id, tuple(blocks)))
+    return ModelLibrary(
+        [ParameterBlock(b, s) for b, s in sizes.items()], models
+    )
+
+
+class TestConstruction:
+    def test_duplicate_block_id(self):
+        with pytest.raises(LibraryError, match="duplicate block"):
+            ModelLibrary(
+                [ParameterBlock(0, 1), ParameterBlock(0, 2)],
+                [Model(0, (0,))],
+            )
+
+    def test_duplicate_model_id(self):
+        with pytest.raises(LibraryError, match="duplicate model"):
+            ModelLibrary(
+                [ParameterBlock(0, 1)],
+                [Model(0, (0,)), Model(0, (0,))],
+            )
+
+    def test_unknown_block_reference(self):
+        with pytest.raises(LibraryError, match="unknown blocks"):
+            ModelLibrary([ParameterBlock(0, 1)], [Model(0, (0, 9))])
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(LibraryError):
+            ModelLibrary([ParameterBlock(0, 1)], [])
+
+
+class TestSharingStructure:
+    def test_shared_vs_specific(self, tiny_library):
+        assert tiny_library.shared_block_ids == frozenset({0})
+        assert tiny_library.specific_block_ids == frozenset({1, 2, 3, 4})
+
+    def test_models_with_block(self, tiny_library):
+        assert tiny_library.models_with_block(0) == frozenset({0, 1})
+        assert tiny_library.models_with_block(3) == frozenset({2})
+
+    def test_models_with_unknown_block(self, tiny_library):
+        with pytest.raises(LibraryError):
+            tiny_library.models_with_block(99)
+
+    def test_shared_blocks_of(self, tiny_library):
+        assert tiny_library.shared_blocks_of(0) == frozenset({0})
+        assert tiny_library.shared_blocks_of(2) == frozenset()
+
+    def test_specific_blocks_are_exclusive(self, tiny_library):
+        assert tiny_library.specific_blocks_are_exclusive()
+
+
+class TestStorageAccounting:
+    def test_model_size(self, tiny_library):
+        assert tiny_library.model_size(0) == 15 * MB
+        assert tiny_library.model_size(2) == 10 * MB
+
+    def test_deduplicated_vs_independent(self, tiny_library):
+        # Models 0 and 1 share block 0 (10 MB): dedup saves exactly that.
+        assert tiny_library.independent_size([0, 1]) == 30 * MB
+        assert tiny_library.deduplicated_size([0, 1]) == 20 * MB
+
+    def test_dedup_never_exceeds_independent(self, tiny_library):
+        for subset in ([0], [1], [2], [0, 1], [0, 2], [0, 1, 2]):
+            assert tiny_library.deduplicated_size(
+                subset
+            ) <= tiny_library.independent_size(subset)
+
+    def test_marginal_size(self, tiny_library):
+        # Adding model 1 when block 0 is already cached costs only 5 MB.
+        assert tiny_library.marginal_size(1, {0}) == 5 * MB
+        assert tiny_library.marginal_size(1, set()) == 15 * MB
+
+    def test_specific_size_of(self, tiny_library):
+        assert tiny_library.specific_size_of(0) == 5 * MB
+        assert tiny_library.specific_size_of(2) == 10 * MB
+
+    def test_sharing_stats(self, tiny_library):
+        stats = tiny_library.sharing_stats()
+        assert stats.num_models == 3
+        assert stats.num_shared_blocks == 1
+        assert stats.total_size_independent == 40 * MB
+        assert stats.total_size_deduplicated == 30 * MB
+        assert stats.savings_ratio == pytest.approx(0.25)
+
+
+class TestSubset:
+    def test_subset_prunes_blocks(self, tiny_library):
+        sub = tiny_library.subset([2])
+        assert sub.num_models == 1
+        assert set(sub.block_ids) == {3, 4}
+
+    def test_shared_becomes_specific_in_subset(self, tiny_library):
+        sub = tiny_library.subset([0, 2])
+        # Block 0 was shared between models 0 and 1; with model 1 gone it
+        # is specific.
+        assert sub.shared_block_ids == frozenset()
+
+    def test_subset_keeps_original_ids(self, tiny_library):
+        sub = tiny_library.subset([1, 2])
+        assert sub.model_ids == [1, 2]
+
+    def test_empty_subset_rejected(self, tiny_library):
+        with pytest.raises(LibraryError):
+            tiny_library.subset([])
+
+
+class TestDunder:
+    def test_contains_and_len(self, tiny_library):
+        assert 0 in tiny_library
+        assert 99 not in tiny_library
+        assert len(tiny_library) == 3
+
+
+@given(
+    shared_size=st.integers(1, 100),
+    specific_sizes=st.lists(st.integers(1, 100), min_size=2, max_size=6),
+)
+def test_dedup_savings_equals_shared_size(shared_size, specific_sizes):
+    """With one shared block, dedup saves (n-1) copies of it exactly."""
+    blocks = [ParameterBlock(0, shared_size)]
+    models = []
+    for index, size in enumerate(specific_sizes, start=1):
+        blocks.append(ParameterBlock(index, size))
+        models.append(Model(index - 1, (0, index)))
+    library = ModelLibrary(blocks, models)
+    ids = library.model_ids
+    saved = library.independent_size(ids) - library.deduplicated_size(ids)
+    assert saved == (len(specific_sizes) - 1) * shared_size

@@ -1,0 +1,103 @@
+"""Tests for the Shannon-rate channel model (paper eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.channel import DEFAULT_NOISE_PSD, ChannelModel
+
+
+class TestDefaults:
+    def test_noise_floor_is_minus_174_dbm_per_hz(self):
+        assert DEFAULT_NOISE_PSD == pytest.approx(10 ** (-20.4))
+
+
+class TestExpectedRate:
+    def test_equation_1_by_hand(self):
+        channel = ChannelModel(antenna_gain=1.0, path_loss_exponent=4.0)
+        power, bandwidth, distance = 4.0, 80e6, 100.0
+        snr = power * distance**-4 / (DEFAULT_NOISE_PSD * bandwidth)
+        expected = bandwidth * math.log2(1 + snr)
+        assert channel.expected_rate(power, bandwidth, distance) == pytest.approx(
+            expected
+        )
+
+    def test_rate_decreases_with_distance(self):
+        channel = ChannelModel()
+        near = channel.expected_rate(4.0, 80e6, 50.0)
+        far = channel.expected_rate(4.0, 80e6, 270.0)
+        assert near > far > 0
+
+    def test_rate_increases_with_power(self):
+        channel = ChannelModel()
+        assert channel.expected_rate(8.0, 80e6, 100.0) > channel.expected_rate(
+            4.0, 80e6, 100.0
+        )
+
+    def test_vectorised(self):
+        channel = ChannelModel()
+        rates = channel.expected_rate(4.0, 80e6, np.array([50.0, 100.0, 200.0]))
+        assert rates.shape == (3,)
+        assert (np.diff(rates) < 0).all()
+
+    def test_min_distance_clamp(self):
+        channel = ChannelModel(min_distance=1.0)
+        # Below the clamp the rate saturates instead of diverging.
+        assert channel.expected_rate(4.0, 80e6, 0.001) == channel.expected_rate(
+            4.0, 80e6, 1.0
+        )
+
+    def test_realistic_edge_rate_magnitude(self):
+        """Paper-setting sanity: hundreds of Mbps to ~Gbps at the edge."""
+        channel = ChannelModel()
+        rate = channel.expected_rate(4.0, 80e6, 150.0)
+        assert 1e8 < rate < 5e9
+
+
+class TestFadedRate:
+    def test_unit_gain_matches_expected(self):
+        channel = ChannelModel()
+        expected = channel.expected_rate(4.0, 80e6, 100.0)
+        faded = channel.faded_rate(4.0, 80e6, 100.0, 1.0)
+        assert faded == pytest.approx(expected)
+
+    def test_zero_gain_gives_zero_rate(self):
+        channel = ChannelModel()
+        assert channel.faded_rate(4.0, 80e6, 100.0, 0.0) == 0.0
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel().faded_rate(4.0, 80e6, 100.0, -0.5)
+
+    def test_rayleigh_gains_are_exp1(self):
+        gains = ChannelModel.sample_rayleigh_gains((20000,), seed=0)
+        assert gains.mean() == pytest.approx(1.0, abs=0.03)
+        assert gains.min() >= 0
+
+    def test_fading_preserves_mean_snr_ordering(self):
+        channel = ChannelModel()
+        gains = ChannelModel.sample_rayleigh_gains((1000,), seed=1)
+        rates = channel.faded_rate(4.0, 80e6, 100.0, gains)
+        # Jensen: mean faded rate is below the expected-gain rate.
+        assert rates.mean() < channel.expected_rate(4.0, 80e6, 100.0)
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ChannelModel(antenna_gain=0)
+        with pytest.raises(ConfigurationError):
+            ChannelModel(path_loss_exponent=0)
+        with pytest.raises(ConfigurationError):
+            ChannelModel(noise_psd=0)
+        with pytest.raises(ConfigurationError):
+            ChannelModel(min_distance=0)
+
+    def test_bad_inputs(self):
+        channel = ChannelModel()
+        with pytest.raises(ConfigurationError):
+            channel.expected_rate(-1.0, 80e6, 100.0)
+        with pytest.raises(ConfigurationError):
+            channel.expected_rate(4.0, 0.0, 100.0)

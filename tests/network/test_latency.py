@@ -1,0 +1,133 @@
+"""Tests for E2E latency (eqs. 4-5) and the feasibility indicator I1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.backhaul import Backhaul
+from repro.network.channel import ChannelModel
+from repro.network.geometry import Point
+from repro.network.latency import LatencyModel
+from repro.network.servers import EdgeServer
+from repro.network.topology import NetworkTopology
+from repro.network.users import User
+from repro.utils.units import GBPS, MB
+
+
+def build(server_positions, user_positions, deadlines, inference, backhaul=None):
+    num_models = len(deadlines[0])
+    servers = [
+        EdgeServer(server_id=index, position=pos)
+        for index, pos in enumerate(server_positions)
+    ]
+    users = [
+        User(
+            user_id=index,
+            position=pos,
+            deadlines_s=np.array(deadlines[index], dtype=float),
+            inference_latency_s=np.array(inference[index], dtype=float),
+        )
+        for index, pos in enumerate(user_positions)
+    ]
+    return NetworkTopology(servers, users, backhaul=backhaul or Backhaul())
+
+
+class TestDirectPath:
+    def test_equation_4_by_hand(self):
+        """T = D_i / C̄_{m,k} + t_{k,i} for an associated server."""
+        topo = build(
+            [Point(0, 0)], [Point(100, 0)], [[1.0]], [[0.1]]
+        )
+        sizes = np.array([50 * MB])
+        model = LatencyModel(topo, sizes)
+        rate = topo.expected_rates[0, 0]
+        expected = 8.0 * 50 * MB / rate + 0.1
+        assert model.latency()[0, 0, 0] == pytest.approx(expected)
+
+    def test_feasibility_threshold(self):
+        topo = build([Point(0, 0)], [Point(100, 0)], [[1.0]], [[0.1]])
+        model = LatencyModel(topo, np.array([50 * MB]))
+        latency = model.latency()[0, 0, 0]
+        feasible = model.feasibility()[0, 0, 0]
+        assert feasible == (latency <= 1.0)
+
+    def test_larger_models_slower(self):
+        topo = build(
+            [Point(0, 0)], [Point(100, 0)], [[1.0, 1.0]], [[0.1, 0.1]]
+        )
+        model = LatencyModel(topo, np.array([10 * MB, 100 * MB]))
+        lat = model.latency()
+        assert lat[0, 0, 0] < lat[0, 0, 1]
+
+
+class TestRelayPath:
+    def test_equation_5_by_hand(self):
+        """Non-associated server relays through the best associated one."""
+        # Server 0 covers the user; server 1 is 2 km away (not covering).
+        topo = build(
+            [Point(0, 0), Point(2000, 0)],
+            [Point(100, 0)],
+            [[10.0]],
+            [[0.1]],
+        )
+        sizes = np.array([50 * MB])
+        model = LatencyModel(topo, sizes)
+        rate = topo.expected_rates[0, 0]
+        backhaul_time = 8.0 * 50 * MB / (10 * GBPS)
+        expected = backhaul_time + 8.0 * 50 * MB / rate + 0.1
+        assert model.latency()[1, 0, 0] == pytest.approx(expected)
+
+    def test_relay_slower_than_direct(self):
+        topo = build(
+            [Point(0, 0), Point(2000, 0)], [Point(100, 0)], [[10.0]], [[0.1]]
+        )
+        model = LatencyModel(topo, np.array([50 * MB]))
+        lat = model.latency()
+        assert lat[1, 0, 0] > lat[0, 0, 0]
+
+    def test_relay_picks_best_associated(self):
+        # Two associated servers at different distances; relay from the far
+        # third server must go through the nearer (faster) one.
+        topo = build(
+            [Point(0, 0), Point(150, 0), Point(3000, 0)],
+            [Point(50, 0)],
+            [[10.0]],
+            [[0.1]],
+        )
+        model = LatencyModel(topo, np.array([50 * MB]))
+        per_bit = model.per_bit_delivery()
+        direct_best = min(per_bit[0, 0], per_bit[1, 0])
+        backhaul_per_bit = 1.0 / (10 * GBPS)
+        assert per_bit[2, 0] == pytest.approx(direct_best + backhaul_per_bit)
+
+    def test_uncovered_user_unreachable(self):
+        topo = build([Point(0, 0)], [Point(5000, 0)], [[10.0]], [[0.1]])
+        model = LatencyModel(topo, np.array([50 * MB]))
+        assert np.isinf(model.latency()[0, 0, 0])
+        assert not model.feasibility()[0, 0, 0]
+
+
+class TestWithFadedRates:
+    def test_deep_fade_breaks_feasibility(self):
+        topo = build([Point(0, 0)], [Point(100, 0)], [[1.0]], [[0.1]])
+        model = LatencyModel(topo, np.array([50 * MB]))
+        assert model.feasibility()[0, 0, 0]
+        faded = topo.faded_rates(np.full((1, 1), 1e-6))
+        assert not model.feasibility(faded)[0, 0, 0]
+
+    def test_rate_shape_checked(self):
+        topo = build([Point(0, 0)], [Point(100, 0)], [[1.0]], [[0.1]])
+        model = LatencyModel(topo, np.array([50 * MB]))
+        with pytest.raises(TopologyError):
+            model.per_bit_delivery(np.ones((2, 2)))
+
+
+class TestValidation:
+    def test_bad_sizes(self):
+        topo = build([Point(0, 0)], [Point(100, 0)], [[1.0]], [[0.1]])
+        with pytest.raises(TopologyError):
+            LatencyModel(topo, np.array([1 * MB, 2 * MB]))  # wrong count
+        with pytest.raises(TopologyError):
+            LatencyModel(topo, np.array([0.0]))
+        with pytest.raises(TopologyError):
+            LatencyModel(topo, np.ones((1, 1)))

@@ -1,0 +1,118 @@
+"""Tests for the §VII-E mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.geometry import Point
+from repro.network.mobility import (
+    BIKE,
+    DEFAULT_CLASSES,
+    PEDESTRIAN,
+    VEHICLE,
+    MobilityClass,
+    MobilityModel,
+)
+
+
+class TestPaperParameters:
+    def test_speed_ranges(self):
+        assert PEDESTRIAN.initial_speed == (0.5, 1.8)
+        assert BIKE.initial_speed == (2.0, 8.0)
+        assert VEHICLE.initial_speed == (5.5, 20.0)
+
+    def test_acceleration_ranges(self):
+        assert PEDESTRIAN.acceleration == (-0.3, 0.3)
+        assert BIKE.acceleration == (-1.0, 1.0)
+        assert VEHICLE.acceleration == (-3.0, 3.0)
+
+    def test_angular_ranges(self):
+        assert PEDESTRIAN.angular_velocity[1] == pytest.approx(np.pi / 4)
+        assert BIKE.angular_velocity[1] == pytest.approx(np.pi / 3)
+        assert VEHICLE.angular_velocity[1] == pytest.approx(np.pi / 2)
+
+
+class TestInitialStates:
+    def test_round_robin_classes(self):
+        model = MobilityModel(1000.0)
+        states = model.initial_states([Point(0, 0)] * 6, seed=0)
+        names = [s.mobility_class.name for s in states]
+        assert names == ["pedestrian", "bike", "vehicle"] * 2
+
+    def test_speeds_in_class_ranges(self):
+        model = MobilityModel(1000.0)
+        states = model.initial_states([Point(0, 0)] * 30, seed=0)
+        for state in states:
+            low, high = state.mobility_class.initial_speed
+            assert low <= state.speed <= high
+
+    def test_orientation_range(self):
+        model = MobilityModel(1000.0)
+        states = model.initial_states([Point(0, 0)] * 30, seed=0)
+        for state in states:
+            assert 0 <= state.orientation <= np.pi
+
+
+class TestStep:
+    def test_positions_stay_in_area(self):
+        model = MobilityModel(1000.0, slot_duration_s=5.0)
+        states = model.initial_states(
+            [Point(500, 500)] * 9, seed=1
+        )
+        for _ in range(500):
+            states = model.step(states, seed=None)
+        for state in states:
+            assert 0 <= state.x <= 1000
+            assert 0 <= state.y <= 1000
+
+    def test_speed_clamped(self):
+        model = MobilityModel(1000.0)
+        states = model.initial_states([Point(500, 500)] * 9, seed=2)
+        for _ in range(200):
+            states = model.step(states)
+        for state in states:
+            assert 0 <= state.speed <= state.mobility_class.max_speed
+
+    def test_users_actually_move(self):
+        model = MobilityModel(1000.0, slot_duration_s=5.0)
+        states = model.initial_states([Point(500, 500)] * 3, seed=3)
+        moved = model.step(states, seed=4)
+        for before, after in zip(states, moved):
+            assert (before.x, before.y) != (after.x, after.y)
+
+
+class TestTrajectory:
+    def test_shape(self):
+        model = MobilityModel(1000.0)
+        frames = model.trajectory([Point(1, 1), Point(2, 2)], num_slots=10, seed=0)
+        assert len(frames) == 11
+        assert len(frames[0]) == 2
+        assert frames[0] == [Point(1, 1), Point(2, 2)]
+
+    def test_reproducible(self):
+        model = MobilityModel(1000.0)
+        a = model.trajectory([Point(1, 1)], num_slots=5, seed=7)
+        b = model.trajectory([Point(1, 1)], num_slots=5, seed=7)
+        assert a == b
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MobilityModel(1000.0).trajectory([Point(0, 0)], num_slots=-1)
+
+
+class TestValidation:
+    def test_bad_model_params(self):
+        with pytest.raises(ConfigurationError):
+            MobilityModel(0.0)
+        with pytest.raises(ConfigurationError):
+            MobilityModel(100.0, slot_duration_s=0)
+        with pytest.raises(ConfigurationError):
+            MobilityModel(100.0, classes=())
+
+    def test_bad_class_params(self):
+        with pytest.raises(ConfigurationError):
+            MobilityClass("x", (2.0, 1.0), (-1, 1), (-1, 1), 5.0)
+        with pytest.raises(ConfigurationError):
+            MobilityClass("x", (-1.0, 1.0), (-1, 1), (-1, 1), 5.0)
+        with pytest.raises(ConfigurationError):
+            MobilityClass("x", (0.5, 1.0), (-1, 1), (-1, 1), 0.0)

@@ -1,0 +1,71 @@
+"""Tests for edge servers and resource allocation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.geometry import Point
+from repro.network.servers import EdgeServer
+from repro.utils.units import GB, MHZ, dbm_to_watts
+
+
+def make_server(**kwargs) -> EdgeServer:
+    defaults = dict(server_id=0, position=Point(0, 0))
+    defaults.update(kwargs)
+    return EdgeServer(**defaults)
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        server = make_server()
+        assert server.storage_bytes == 1 * GB
+        assert server.total_bandwidth_hz == 400 * MHZ
+        assert server.total_power_watts == pytest.approx(dbm_to_watts(43.0))
+        assert server.coverage_radius_m == 275.0
+
+
+class TestPerUserShare:
+    def test_paper_formula(self):
+        """B̄ = B / (p_A |K_m|), P̄ = P / (p_A |K_m|)."""
+        server = make_server()
+        bandwidth, power = server.per_user_share(10, active_probability=0.5)
+        assert bandwidth == pytest.approx(400 * MHZ / 5.0)
+        assert power == pytest.approx(dbm_to_watts(43.0) / 5.0)
+
+    def test_more_users_less_share(self):
+        server = make_server()
+        few, _ = server.per_user_share(5, 0.5)
+        many, _ = server.per_user_share(50, 0.5)
+        assert few > many
+
+    def test_no_users_full_budget(self):
+        server = make_server()
+        bandwidth, power = server.per_user_share(0, 0.5)
+        assert bandwidth == server.total_bandwidth_hz
+        assert power == server.total_power_watts
+
+    def test_validation(self):
+        server = make_server()
+        with pytest.raises(ConfigurationError):
+            server.per_user_share(-1, 0.5)
+        with pytest.raises(ConfigurationError):
+            server.per_user_share(1, 0.0)
+        with pytest.raises(ConfigurationError):
+            server.per_user_share(1, 1.5)
+
+
+class TestValidation:
+    def test_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            make_server(server_id=-1)
+        with pytest.raises(ConfigurationError):
+            make_server(storage_bytes=-1)
+        with pytest.raises(ConfigurationError):
+            make_server(total_bandwidth_hz=0)
+        with pytest.raises(ConfigurationError):
+            make_server(total_power_watts=0)
+        with pytest.raises(ConfigurationError):
+            make_server(coverage_radius_m=0)
+
+    def test_zero_storage_allowed(self):
+        # A server with no cache is a legal (degenerate) configuration.
+        assert make_server(storage_bytes=0).storage_bytes == 0

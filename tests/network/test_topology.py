@@ -1,0 +1,141 @@
+"""Tests for NetworkTopology: association, allocation, rates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.channel import ChannelModel
+from repro.network.geometry import Point
+from repro.network.servers import EdgeServer
+from repro.network.topology import NetworkTopology
+from repro.network.users import User
+from repro.utils.units import MHZ
+
+
+def make_topology(
+    server_positions,
+    user_positions,
+    radius=275.0,
+    num_models=2,
+):
+    servers = [
+        EdgeServer(server_id=index, position=pos, coverage_radius_m=radius)
+        for index, pos in enumerate(server_positions)
+    ]
+    users = [
+        User(
+            user_id=index,
+            position=pos,
+            deadlines_s=np.full(num_models, 1.0),
+            inference_latency_s=np.full(num_models, 0.1),
+        )
+        for index, pos in enumerate(user_positions)
+    ]
+    return NetworkTopology(servers, users)
+
+
+class TestAssociation:
+    def test_coverage_sets(self):
+        topo = make_topology(
+            [Point(0, 0), Point(1000, 0)],
+            [Point(100, 0), Point(900, 0), Point(500, 0)],
+        )
+        assert topo.servers_of_user(0) == [0]
+        assert topo.servers_of_user(1) == [1]
+        assert topo.servers_of_user(2) == []  # covered by nobody
+        assert topo.users_of_server(0) == [0]
+
+    def test_overlapping_coverage(self):
+        topo = make_topology(
+            [Point(0, 0), Point(200, 0)], [Point(100, 0)], radius=275.0
+        )
+        assert topo.servers_of_user(0) == [0, 1]
+
+    def test_unknown_ids(self):
+        topo = make_topology([Point(0, 0)], [Point(1, 1)])
+        with pytest.raises(TopologyError):
+            topo.servers_of_user(9)
+        with pytest.raises(TopologyError):
+            topo.users_of_server(9)
+
+
+class TestAllocation:
+    def test_bandwidth_split_among_associated(self):
+        topo = make_topology(
+            [Point(0, 0)], [Point(50, 0), Point(100, 0)], radius=275.0
+        )
+        bandwidth = topo.bandwidth_allocation
+        # Two associated users, p_A = 0.5: each gets B / 1.
+        assert bandwidth[0, 0] == pytest.approx(400 * MHZ / 1.0)
+        assert bandwidth[0, 1] == pytest.approx(400 * MHZ / 1.0)
+
+    def test_non_associated_gets_zero(self):
+        topo = make_topology([Point(0, 0)], [Point(5000, 0)])
+        assert topo.bandwidth_allocation[0, 0] == 0.0
+        assert topo.expected_rates[0, 0] == 0.0
+
+
+class TestRates:
+    def test_nearer_user_gets_higher_rate(self):
+        topo = make_topology(
+            [Point(0, 0)], [Point(50, 0), Point(250, 0)], radius=275.0
+        )
+        rates = topo.expected_rates
+        assert rates[0, 0] > rates[0, 1] > 0
+
+    def test_faded_rates_shape_and_zeroing(self):
+        topo = make_topology([Point(0, 0)], [Point(50, 0), Point(5000, 0)])
+        gains = np.ones((1, 2))
+        faded = topo.faded_rates(gains)
+        assert faded[0, 0] == pytest.approx(topo.expected_rates[0, 0])
+        assert faded[0, 1] == 0.0
+
+    def test_faded_rates_shape_mismatch(self):
+        topo = make_topology([Point(0, 0)], [Point(50, 0)])
+        with pytest.raises(TopologyError):
+            topo.faded_rates(np.ones((2, 2)))
+
+
+class TestValidation:
+    def test_id_position_mismatch(self):
+        servers = [EdgeServer(server_id=1, position=Point(0, 0))]
+        users = [
+            User(
+                user_id=0,
+                position=Point(0, 0),
+                deadlines_s=np.array([1.0]),
+                inference_latency_s=np.array([0.1]),
+            )
+        ]
+        with pytest.raises(TopologyError):
+            NetworkTopology(servers, users)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            make_topology([], [Point(0, 0)])
+        with pytest.raises(TopologyError):
+            make_topology([Point(0, 0)], [])
+
+    def test_inconsistent_model_counts(self):
+        servers = [EdgeServer(server_id=0, position=Point(0, 0))]
+        users = [
+            User(0, Point(0, 0), np.ones(2), np.full(2, 0.1)),
+            User(1, Point(1, 1), np.ones(3), np.full(3, 0.1)),
+        ]
+        with pytest.raises(TopologyError):
+            NetworkTopology(servers, users)
+
+
+class TestWithUserPositions:
+    def test_recomputes_everything(self):
+        topo = make_topology([Point(0, 0)], [Point(50, 0)])
+        moved = topo.with_user_positions([Point(5000, 0)])
+        assert moved.servers_of_user(0) == []
+        assert moved.expected_rates[0, 0] == 0.0
+        # Original untouched.
+        assert topo.servers_of_user(0) == [0]
+
+    def test_wrong_count_rejected(self):
+        topo = make_topology([Point(0, 0)], [Point(50, 0)])
+        with pytest.raises(TopologyError):
+            topo.with_user_positions([Point(0, 0), Point(1, 1)])

@@ -1,0 +1,57 @@
+"""Tests for the User type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.geometry import Point
+from repro.network.users import User
+
+
+def make_user(**kwargs) -> User:
+    defaults = dict(
+        user_id=0,
+        position=Point(0, 0),
+        deadlines_s=np.array([0.5, 1.0]),
+        inference_latency_s=np.array([0.1, 0.2]),
+    )
+    defaults.update(kwargs)
+    return User(**defaults)
+
+
+class TestUser:
+    def test_construction(self):
+        user = make_user()
+        assert user.num_models == 2
+        assert user.active_probability == 0.5
+
+    def test_download_budget(self):
+        user = make_user()
+        assert user.download_budget_s() == pytest.approx([0.4, 0.8])
+
+    def test_budget_can_be_negative(self):
+        user = make_user(
+            deadlines_s=np.array([0.5]), inference_latency_s=np.array([0.9])
+        )
+        assert user.download_budget_s()[0] < 0
+
+    def test_moved_to_preserves_qos(self):
+        user = make_user()
+        moved = user.moved_to(Point(5, 5))
+        assert moved.position == Point(5, 5)
+        assert (moved.deadlines_s == user.deadlines_s).all()
+        assert moved.user_id == user.user_id
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_user(user_id=-1)
+        with pytest.raises(ConfigurationError):
+            make_user(deadlines_s=np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            make_user(inference_latency_s=np.array([-0.1, 0.2]))
+        with pytest.raises(ConfigurationError):
+            make_user(inference_latency_s=np.array([0.1]))
+        with pytest.raises(ConfigurationError):
+            make_user(active_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            make_user(deadlines_s=np.ones((2, 2)), inference_latency_s=np.ones((2, 2)))

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        commands = set(sub.choices)
+        for expected in (
+            "fig1",
+            "table1",
+            "fig4a",
+            "fig4b",
+            "fig4c",
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig6a",
+            "fig6b",
+            "fig7",
+            "ablation-epsilon",
+        ):
+            assert expected in commands
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_fig1(self, capsys):
+        assert main(["fig1", "--step", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "frozen layers" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--models", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "dedup storage savings" in out
+
+    def test_fig4a_tiny(self, capsys):
+        assert main(["fig4a", "--topologies", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4(a)" in out
+        assert "TrimCaching Spec (mean)" in out
+
+    def test_fig6a_tiny(self, capsys):
+        assert main(["fig6a", "--topologies", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

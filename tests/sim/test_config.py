@@ -1,0 +1,66 @@
+"""Tests for ScenarioConfig validation and defaults."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.utils.units import GB, MHZ, dbm_to_watts
+
+
+class TestPaperDefaults:
+    def test_section_7a_values(self):
+        config = ScenarioConfig()
+        assert config.area_side_m == 1000.0
+        assert config.coverage_radius_m == 275.0
+        assert config.total_bandwidth_hz == 400 * MHZ
+        assert config.total_power_watts == pytest.approx(dbm_to_watts(43.0))
+        assert config.active_probability == 0.5
+        assert config.backhaul_rate_bps == 10e9
+        assert config.antenna_gain == 1.0
+        assert config.path_loss_exponent == 4.0
+        assert config.storage_bytes == 1 * GB
+        assert config.deadline_range_s == (0.5, 1.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_servers", 0),
+            ("num_users", 0),
+            ("num_models", 0),
+            ("area_side_m", 0.0),
+            ("coverage_radius_m", 0.0),
+            ("total_bandwidth_hz", 0.0),
+            ("total_power_watts", 0.0),
+            ("active_probability", 0.0),
+            ("active_probability", 1.5),
+            ("antenna_gain", 0.0),
+            ("path_loss_exponent", 0.0),
+            ("backhaul_rate_bps", 0.0),
+            ("storage_bytes", -1),
+            ("deadline_range_s", (1.0, 0.5)),
+            ("deadline_range_s", (0.0, 1.0)),
+            ("inference_latency_range_s", (-0.1, 0.2)),
+            ("zipf_exponent", -0.5),
+            ("library_case", "magic"),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(**{field: value})
+
+    def test_zero_storage_allowed(self):
+        assert ScenarioConfig(storage_bytes=0).storage_bytes == 0
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        base = ScenarioConfig()
+        varied = base.with_overrides(num_servers=14, storage_bytes=int(1.5 * GB))
+        assert varied.num_servers == 14
+        assert base.num_servers == 10  # original untouched
+
+    def test_overrides_are_validated(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig().with_overrides(num_servers=-1)

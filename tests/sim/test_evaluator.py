@@ -1,0 +1,73 @@
+"""Tests for expected and Monte-Carlo placement evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.gen import TrimCachingGen
+from repro.core.objective import hit_ratio
+from repro.sim.evaluator import PlacementEvaluator
+
+
+@pytest.fixture(scope="module")
+def solved(request):
+    # Lazily resolve the session-scoped scenario fixture.
+    scenario = request.getfixturevalue("tight_scenario")
+    result = TrimCachingGen().solve(scenario.instance)
+    return scenario, result
+
+
+class TestExpectedEvaluation:
+    def test_matches_objective(self, tight_scenario):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        evaluator = PlacementEvaluator(tight_scenario)
+        assert evaluator.expected_hit_ratio(result.placement) == pytest.approx(
+            result.hit_ratio
+        )
+
+
+class TestMonteCarloEvaluation:
+    def test_bounds_and_reproducibility(self, tight_scenario):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        evaluator = PlacementEvaluator(tight_scenario)
+        a = evaluator.monte_carlo_hit_ratio(result.placement, 50, seed=0)
+        b = evaluator.monte_carlo_hit_ratio(result.placement, 50, seed=0)
+        assert 0.0 <= a.mean <= 1.0
+        assert a.mean == pytest.approx(b.mean)
+        assert a.num_realizations == 50
+
+    def test_fading_changes_the_answer(self, tight_scenario):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        evaluator = PlacementEvaluator(tight_scenario)
+        expected = evaluator.expected_hit_ratio(result.placement)
+        faded = evaluator.monte_carlo_hit_ratio(result.placement, 100, seed=1)
+        # Rayleigh fading perturbs the hit ratio; it must not be exactly
+        # the deterministic value and should carry spread.
+        assert faded.mean != pytest.approx(expected, abs=1e-12)
+        assert faded.std >= 0.0
+
+    def test_more_realizations_reduce_spread_of_estimate(self, tight_scenario):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        evaluator = PlacementEvaluator(tight_scenario)
+        means_small = [
+            evaluator.monte_carlo_hit_ratio(result.placement, 10, seed=s).mean
+            for s in range(6)
+        ]
+        means_large = [
+            evaluator.monte_carlo_hit_ratio(result.placement, 200, seed=s).mean
+            for s in range(6)
+        ]
+        assert np.std(means_large) <= np.std(means_small) + 1e-9
+
+    def test_empty_placement_zero(self, tight_scenario):
+        evaluator = PlacementEvaluator(tight_scenario)
+        outcome = evaluator.monte_carlo_hit_ratio(
+            tight_scenario.instance.new_placement(), 20, seed=0
+        )
+        assert outcome.mean == 0.0
+
+    def test_invalid_realizations(self, tight_scenario):
+        evaluator = PlacementEvaluator(tight_scenario)
+        with pytest.raises(ValueError):
+            evaluator.monte_carlo_hit_ratio(
+                tight_scenario.instance.new_placement(), 0
+            )

@@ -1,0 +1,67 @@
+"""Tests for the cloud-fallback latency accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.gen import TrimCachingGen
+from repro.errors import ConfigurationError
+from repro.sim.latency_report import LatencyAnalyzer
+
+
+@pytest.fixture()
+def analyzer(tight_scenario):
+    return LatencyAnalyzer(tight_scenario)
+
+
+class TestLatencyReport:
+    def test_hit_ratio_matches_objective(self, tight_scenario, analyzer):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        report = analyzer.report(result.placement)
+        assert report.hit_ratio == pytest.approx(result.hit_ratio)
+
+    def test_empty_placement_all_cloud(self, tight_scenario, analyzer):
+        report = analyzer.report(tight_scenario.instance.new_placement())
+        assert report.hit_ratio == 0.0
+        assert math.isnan(report.mean_hit_latency_s)
+        assert report.mean_latency_s == pytest.approx(report.mean_miss_latency_s)
+
+    def test_cloud_is_slower_than_edge(self, tight_scenario, analyzer):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        report = analyzer.report(result.placement)
+        if report.hit_ratio > 0 and report.hit_ratio < 1:
+            assert report.mean_miss_latency_s > report.mean_hit_latency_s
+
+    def test_better_placement_lowers_latency(self, tight_scenario, analyzer):
+        good = TrimCachingGen().solve(tight_scenario.instance)
+        empty = tight_scenario.instance.new_placement()
+        assert (
+            analyzer.report(good.placement).mean_latency_s
+            < analyzer.report(empty).mean_latency_s
+        )
+
+    def test_deadline_satisfaction_at_least_hit_ratio(
+        self, tight_scenario, analyzer
+    ):
+        """Cloud delivery may still satisfy loose deadlines."""
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        report = analyzer.report(result.placement)
+        assert report.deadline_satisfaction >= report.hit_ratio - 1e-9
+
+    def test_faster_cloud_helps_satisfaction(self, tight_scenario):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        slow = LatencyAnalyzer(tight_scenario, cloud_rate_bps=10e6).report(
+            result.placement
+        )
+        fast = LatencyAnalyzer(tight_scenario, cloud_rate_bps=10e9).report(
+            result.placement
+        )
+        assert fast.deadline_satisfaction >= slow.deadline_satisfaction
+        assert fast.mean_latency_s <= slow.mean_latency_s
+
+    def test_validation(self, tight_scenario):
+        with pytest.raises(ConfigurationError):
+            LatencyAnalyzer(tight_scenario, cloud_rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            LatencyAnalyzer(tight_scenario, cloud_extra_delay_s=-1)

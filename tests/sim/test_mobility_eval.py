@@ -1,0 +1,61 @@
+"""Tests for the Fig.-7 mobility study."""
+
+import numpy as np
+import pytest
+
+from repro.core.gen import TrimCachingGen
+from repro.sim.mobility_eval import MobilityStudy, MobilityTrace
+
+
+class TestMobilityStudy:
+    def test_trace_shape(self, small_scenario):
+        result = TrimCachingGen().solve(small_scenario.instance)
+        study = MobilityStudy(small_scenario, sample_every=6)
+        trace = study.run(result.placement, horizon_s=300.0, seed=0)
+        assert trace.times_s[0] == 0.0
+        assert trace.times_s[-1] == pytest.approx(300.0)
+        assert len(trace.times_s) == len(trace.hit_ratios)
+        assert ((0.0 <= trace.hit_ratios) & (trace.hit_ratios <= 1.0)).all()
+
+    def test_initial_matches_static_evaluation(self, small_scenario):
+        result = TrimCachingGen().solve(small_scenario.instance)
+        study = MobilityStudy(small_scenario)
+        trace = study.run(result.placement, horizon_s=60.0, seed=0)
+        assert trace.initial == pytest.approx(result.hit_ratio)
+
+    def test_reproducible(self, small_scenario):
+        result = TrimCachingGen().solve(small_scenario.instance)
+        study = MobilityStudy(small_scenario, sample_every=6)
+        a = study.run(result.placement, horizon_s=120.0, seed=5)
+        b = study.run(result.placement, horizon_s=120.0, seed=5)
+        assert a.hit_ratios == pytest.approx(b.hit_ratios)
+
+    def test_zero_horizon(self, small_scenario):
+        result = TrimCachingGen().solve(small_scenario.instance)
+        study = MobilityStudy(small_scenario)
+        trace = study.run(result.placement, horizon_s=0.0, seed=0)
+        assert len(trace.times_s) == 1
+
+    def test_validation(self, small_scenario):
+        with pytest.raises(ValueError):
+            MobilityStudy(small_scenario, sample_every=0)
+        study = MobilityStudy(small_scenario)
+        result = TrimCachingGen().solve(small_scenario.instance)
+        with pytest.raises(ValueError):
+            study.run(result.placement, horizon_s=-1.0)
+
+
+class TestMobilityTrace:
+    def test_degradation(self):
+        trace = MobilityTrace(
+            times_s=np.array([0.0, 60.0]), hit_ratios=np.array([0.8, 0.76])
+        )
+        assert trace.degradation == pytest.approx(0.05)
+        assert trace.initial == 0.8
+        assert trace.final == 0.76
+
+    def test_zero_initial(self):
+        trace = MobilityTrace(
+            times_s=np.array([0.0, 60.0]), hit_ratios=np.array([0.0, 0.0])
+        )
+        assert trace.degradation == 0.0

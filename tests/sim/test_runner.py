@@ -1,0 +1,94 @@
+"""Tests for the sweep runner and experiment results."""
+
+import numpy as np
+import pytest
+
+from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import ExperimentResult, SweepRunner
+from repro.utils.units import GB
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = ScenarioConfig(num_servers=2, num_users=5, num_models=6)
+    runner = SweepRunner(
+        base_config=base,
+        algorithms={
+            "Gen": TrimCachingGen(),
+            "Independent": IndependentCaching(),
+        },
+        num_topologies=3,
+        seed=0,
+    )
+    return runner.run(
+        "test sweep",
+        "Q (GB)",
+        [0.1, 0.3],
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+    )
+
+
+class TestSweepRunner:
+    def test_series_shapes(self, small_sweep):
+        assert set(small_sweep.series) == {"Gen", "Independent"}
+        for series in small_sweep.series.values():
+            assert len(series.means) == 2
+            assert (series.counts == 3).all()
+
+    def test_hit_ratio_increases_with_capacity(self, small_sweep):
+        means = small_sweep.mean_of("Gen")
+        assert means[1] >= means[0]
+
+    def test_runtimes_recorded(self, small_sweep):
+        assert (small_sweep.runtimes["Gen"].counts == 3).all()
+        assert (small_sweep.runtimes["Gen"].means >= 0).all()
+
+    def test_table_rendering(self, small_sweep):
+        table = small_sweep.to_table()
+        assert "Q (GB)" in table
+        assert "Gen (mean)" in table
+        assert "test sweep" in table
+
+    def test_metadata(self, small_sweep):
+        assert small_sweep.metadata["num_topologies"] == 3
+
+    def test_reproducible(self):
+        base = ScenarioConfig(num_servers=2, num_users=4, num_models=6)
+
+        def run_once():
+            runner = SweepRunner(
+                base, {"Gen": TrimCachingGen()}, num_topologies=2, seed=9
+            )
+            return runner.run(
+                "x", "K", [4], lambda cfg, k: cfg.with_overrides(num_users=int(k))
+            )
+
+        assert run_once().mean_of("Gen") == pytest.approx(
+            run_once().mean_of("Gen")
+        )
+
+    def test_monte_carlo_evaluation_mode(self):
+        base = ScenarioConfig(num_servers=2, num_users=4, num_models=6)
+        runner = SweepRunner(
+            base,
+            {"Gen": TrimCachingGen()},
+            num_topologies=2,
+            evaluation="monte_carlo",
+            num_realizations=20,
+            seed=0,
+        )
+        result = runner.run(
+            "mc", "K", [4], lambda cfg, k: cfg.with_overrides(num_users=int(k))
+        )
+        assert 0.0 <= result.mean_of("Gen")[0] <= 1.0
+
+    def test_validation(self):
+        base = ScenarioConfig()
+        with pytest.raises(ValueError):
+            SweepRunner(base, {})
+        with pytest.raises(ValueError):
+            SweepRunner(base, {"Gen": TrimCachingGen()}, num_topologies=0)
+        with pytest.raises(ValueError):
+            SweepRunner(base, {"Gen": TrimCachingGen()}, evaluation="magic")

@@ -1,0 +1,120 @@
+"""Tests for scenario assembly."""
+
+import numpy as np
+import pytest
+
+from repro.models.generators import SpecialCaseConfig, build_special_case_library
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_library, build_scenario
+
+
+class TestBuildScenario:
+    def test_shapes(self, small_scenario):
+        scenario = small_scenario
+        assert scenario.num_servers == 3
+        assert scenario.num_users == 8
+        assert scenario.num_models == 9
+        assert scenario.demand.shape == (8, 9)
+        assert scenario.instance.feasible.shape == (3, 8, 9)
+
+    def test_deterministic_given_seed(self):
+        config = ScenarioConfig(num_servers=2, num_users=4, num_models=6)
+        a = build_scenario(config, seed=3)
+        b = build_scenario(config, seed=3)
+        assert (a.demand == b.demand).all()
+        assert (a.topology.distances == b.topology.distances).all()
+        assert (a.instance.feasible == b.instance.feasible).all()
+
+    def test_different_seeds_differ(self):
+        config = ScenarioConfig(num_servers=2, num_users=4, num_models=6)
+        a = build_scenario(config, seed=3)
+        b = build_scenario(config, seed=4)
+        assert not (a.topology.distances == b.topology.distances).all()
+
+    def test_qos_ranges_respected(self, small_scenario):
+        config = small_scenario.config
+        for user in small_scenario.topology.users:
+            assert (user.deadlines_s >= config.deadline_range_s[0]).all()
+            assert (user.deadlines_s <= config.deadline_range_s[1]).all()
+            assert (
+                user.inference_latency_s >= config.inference_latency_range_s[0]
+            ).all()
+
+    def test_demand_rows_normalised(self, small_scenario):
+        assert small_scenario.demand.sum(axis=1) == pytest.approx(
+            np.ones(small_scenario.num_users)
+        )
+
+    def test_capacities_uniform(self, small_scenario):
+        assert (
+            small_scenario.instance.capacities
+            == small_scenario.config.storage_bytes
+        ).all()
+
+    def test_heterogeneous_capacities(self):
+        from repro.errors import ConfigurationError
+
+        config = ScenarioConfig(
+            num_servers=3,
+            num_users=4,
+            num_models=6,
+            storage_bytes_per_server=(10**8, 2 * 10**8, 3 * 10**8),
+        )
+        scenario = build_scenario(config, seed=0)
+        assert scenario.instance.capacities.tolist() == [
+            10**8,
+            2 * 10**8,
+            3 * 10**8,
+        ]
+        assert [s.storage_bytes for s in scenario.topology.servers] == [
+            10**8,
+            2 * 10**8,
+            3 * 10**8,
+        ]
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(
+                num_servers=2, storage_bytes_per_server=(10**8,)
+            )
+
+    def test_library_reuse(self):
+        config = ScenarioConfig(num_servers=2, num_users=4, num_models=6)
+        library = build_special_case_library(SpecialCaseConfig(num_models=6), 0)
+        a = build_scenario(config, seed=1, library=library)
+        b = build_scenario(config, seed=2, library=library)
+        assert a.library is library
+        assert b.library is library
+        # Geometry still varies.
+        assert not (a.topology.distances == b.topology.distances).all()
+
+    def test_supplied_library_overrides_model_count(self):
+        config = ScenarioConfig(num_servers=2, num_users=4, num_models=99)
+        library = build_special_case_library(SpecialCaseConfig(num_models=6), 0)
+        scenario = build_scenario(config, seed=1, library=library)
+        assert scenario.num_models == 6
+        assert scenario.config.num_models == 6
+
+
+class TestBuildLibrary:
+    def test_special(self):
+        config = ScenarioConfig(num_models=9, library_case="special")
+        library = build_library(config, seed=0)
+        assert library.num_models == 9
+
+    def test_general(self):
+        config = ScenarioConfig(num_models=12, library_case="general")
+        library = build_library(config, seed=0)
+        assert library.num_models == 12
+
+
+class TestRebuildInstance:
+    def test_moved_users_change_feasibility(self, small_scenario):
+        from repro.network.geometry import Point
+
+        far_positions = [Point(10_000 + i, 10_000) for i in range(8)]
+        topology = small_scenario.topology.with_user_positions(far_positions)
+        instance = small_scenario.rebuild_instance(topology)
+        # Users out of everyone's coverage: nothing feasible.
+        assert not instance.feasible.any()
+        # Demand and capacities carry over.
+        assert (instance.demand == small_scenario.demand).all()
+        assert (instance.capacities == small_scenario.instance.capacities).all()

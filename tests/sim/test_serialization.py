@@ -1,0 +1,90 @@
+"""Tests for placement / experiment serialization."""
+
+import json
+
+import pytest
+
+from repro.core.gen import TrimCachingGen
+from repro.core.placement import Placement
+from repro.errors import PlacementError
+from repro.sim.serialization import (
+    experiment_to_csv,
+    experiment_to_dict,
+    experiment_to_json,
+    placement_from_json,
+    placement_to_json,
+)
+
+
+class TestPlacementRoundTrip:
+    def test_round_trip(self, tight_scenario):
+        placement = TrimCachingGen().solve(tight_scenario.instance).placement
+        restored = placement_from_json(placement_to_json(placement))
+        assert restored == placement
+
+    def test_empty_placement(self):
+        placement = Placement.from_server_sets(3, 4, {})
+        restored = placement_from_json(placement_to_json(placement))
+        assert restored == placement
+        assert restored.num_servers == 3
+        assert restored.num_models == 4
+
+    def test_json_is_stable(self, tight_scenario):
+        placement = TrimCachingGen().solve(tight_scenario.instance).placement
+        assert placement_to_json(placement) == placement_to_json(placement)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(PlacementError):
+            placement_from_json(json.dumps({"format": "something-else"}))
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(PlacementError):
+            placement_from_json(
+                json.dumps({"format": "trimcaching-placement-v1"})
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(PlacementError):
+            placement_from_json("{not json")
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    from repro.core.independent import IndependentCaching
+    from repro.sim.config import ScenarioConfig
+    from repro.sim.runner import SweepRunner
+    from repro.utils.units import GB
+
+    runner = SweepRunner(
+        ScenarioConfig(num_servers=2, num_users=4, num_models=6),
+        {"Gen": TrimCachingGen(), "Independent": IndependentCaching()},
+        num_topologies=2,
+        seed=0,
+    )
+    return runner.run(
+        "ser test",
+        "Q (GB)",
+        [0.1, 0.2],
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+    )
+
+
+class TestExperimentExport:
+    def test_dict_structure(self, small_result):
+        payload = experiment_to_dict(small_result)
+        assert payload["name"] == "ser test"
+        assert payload["x_values"] == [0.1, 0.2]
+        assert set(payload["series"]) == {"Gen", "Independent"}
+        assert len(payload["series"]["Gen"]["mean"]) == 2
+        assert payload["metadata"]["num_topologies"] == 2
+
+    def test_json_parses(self, small_result):
+        payload = json.loads(experiment_to_json(small_result))
+        assert payload["x_label"] == "Q (GB)"
+
+    def test_csv_shape(self, small_result):
+        csv_text = experiment_to_csv(small_result)
+        lines = [line for line in csv_text.strip().splitlines()]
+        assert len(lines) == 3  # header + 2 sweep points
+        assert lines[0].startswith("Q (GB),Gen mean,Gen std")
+        assert lines[1].startswith("0.1,")

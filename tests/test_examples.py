@@ -1,0 +1,48 @@
+"""Tests that the example scripts are importable and runnable.
+
+Heavy examples are only compile-checked; the quickstart runs end to end
+(it is the advertised first-contact path and must never break).
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "llm_lora_edge.py",
+            "autonomous_driving.py",
+            "capacity_planning.py",
+            "replacement_study.py",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES]
+    )
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES]
+    )
+    def test_has_module_docstring_and_main(self, path):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), path.name
+        assert 'if __name__ == "__main__":' in source, path.name
+
+    def test_quickstart_runs(self, capsys, monkeypatch):
+        monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "Placement comparison" in out
+        assert "TrimCaching Spec" in out

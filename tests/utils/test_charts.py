@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.utils.charts import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [0, 1, 2],
+            {"up": [0.0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]},
+            width=20,
+            height=5,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "* up" in chart
+        assert "o down" in chart
+
+    def test_markers_placed_at_extremes(self):
+        chart = ascii_chart([0, 1], {"s": [0.0, 1.0]}, width=10, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        assert "*" in rows[0]  # max value at top row
+        assert "*" in rows[-1]  # min value at bottom row
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([0, 1, 2], {"flat": [0.5, 0.5, 0.5]})
+        assert "flat" in chart
+
+    def test_y_axis_labels(self):
+        chart = ascii_chart(
+            [0, 1], {"s": [0.0, 1.0]}, width=12, height=5, y_min=0, y_max=1
+        )
+        assert "1" in chart
+        assert "0" in chart
+
+    def test_custom_bounds_clamp(self):
+        chart = ascii_chart(
+            [0, 1], {"s": [-5.0, 5.0]}, width=12, height=5, y_min=0, y_max=1
+        )
+        assert chart  # values outside bounds are clamped, not crashing
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([0], {"s": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"s": [0.0, 1.0]}, width=5)
+
+    def test_many_series_cycle_markers(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(10)}
+        chart = ascii_chart([0, 1], series)
+        assert "s9" in chart

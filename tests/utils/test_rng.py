@@ -1,0 +1,60 @@
+"""Tests for deterministic RNG spawning."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, as_generator
+
+
+class TestAsGenerator:
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestRngFactory:
+    def test_same_label_same_stream(self):
+        a = RngFactory(1).child("topology").uniform(size=5)
+        b = RngFactory(1).child("topology").uniform(size=5)
+        assert (a == b).all()
+
+    def test_different_labels_differ(self):
+        factory = RngFactory(1)
+        a = factory.child("topology").uniform(size=20)
+        b = factory.child("fading").uniform(size=20)
+        assert not (a == b).all()
+
+    def test_different_indices_differ(self):
+        factory = RngFactory(1)
+        a = factory.child("x", 0).uniform(size=20)
+        b = factory.child("x", 1).uniform(size=20)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngFactory(1).child("x").uniform(size=20)
+        b = RngFactory(2).child("x").uniform(size=20)
+        assert not (a == b).all()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(1).child("x", -1)
+
+    def test_seed_property(self):
+        assert RngFactory(9).seed == 9
+        assert RngFactory(None).seed is None
+
+    def test_child_streams_are_independent_of_call_order(self):
+        factory = RngFactory(3)
+        first = factory.child("b").uniform(size=5)
+        factory2 = RngFactory(3)
+        factory2.child("a")  # consuming another label must not shift "b"
+        second = factory2.child("b").uniform(size=5)
+        assert (first == second).all()

@@ -1,0 +1,102 @@
+"""Tests for streaming statistics and series aggregation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    RunningStats,
+    SeriesStats,
+    aggregate_series,
+    average_relative_gain,
+    relative_gain,
+    summarize,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.std == 0.0
+
+    def test_known_values(self):
+        stats = RunningStats()
+        stats.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_single_sample_has_zero_variance(self):
+        stats = RunningStats()
+        stats.add(3.0)
+        assert stats.variance == 0.0
+        assert stats.confidence_interval() == 0.0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            RunningStats().add(float("nan"))
+
+    def test_confidence_interval_shrinks(self):
+        wide = RunningStats()
+        narrow = RunningStats()
+        wide.extend([0.0, 1.0] * 5)
+        narrow.extend([0.0, 1.0] * 500)
+        assert narrow.confidence_interval() < wide.confidence_interval()
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_matches_numpy(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values), abs=1e-6)
+        assert stats.std == pytest.approx(np.std(values, ddof=1), abs=1e-6)
+
+
+class TestSeriesStats:
+    def test_add_run_shapes(self):
+        series = SeriesStats([1, 2, 3])
+        series.add_run([0.1, 0.2, 0.3])
+        series.add_run([0.3, 0.4, 0.5])
+        assert series.means == pytest.approx([0.2, 0.3, 0.4])
+        assert (series.counts == 2).all()
+
+    def test_wrong_length_rejected(self):
+        series = SeriesStats([1, 2])
+        with pytest.raises(ValueError):
+            series.add_run([0.1])
+
+    def test_aggregate_series(self):
+        series = aggregate_series([1, 2], [[1.0, 2.0], [3.0, 4.0]])
+        assert series.means == pytest.approx([2.0, 3.0])
+
+
+class TestSummaries:
+    def test_summarize(self):
+        out = summarize([1.0, 2.0, 3.0])
+        assert out["count"] == 3
+        assert out["mean"] == pytest.approx(2.0)
+        assert out["min"] == 1.0
+        assert out["max"] == 3.0
+
+    def test_relative_gain_matches_paper_convention(self):
+        # "33.93% higher than baseline" style.
+        assert relative_gain(0.6698, 0.5) == pytest.approx(0.3396)
+
+    def test_relative_gain_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_gain(1.0, 0.0)
+
+    def test_average_relative_gain(self):
+        gain = average_relative_gain([1.1, 1.2], [1.0, 1.0])
+        assert gain == pytest.approx(0.15)
+
+    def test_average_relative_gain_validates(self):
+        with pytest.raises(ValueError):
+            average_relative_gain([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            average_relative_gain([], [])

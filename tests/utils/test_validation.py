@@ -1,0 +1,79 @@
+"""Tests for argument-validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_interval,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts(self):
+        assert check_type("x", 1, int) == 1
+        assert check_type("x", "s", (int, str)) == "s"
+
+    def test_rejects_with_message(self):
+        with pytest.raises(ConfigurationError, match="x must be int"):
+            check_type("x", "s", int)
+
+
+class TestCheckPositive:
+    def test_strict(self):
+        assert check_positive("x", 1) == 1
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+
+    def test_non_strict(self):
+        assert check_positive("x", 0, strict=False) == 0
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1, strict=False)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", True)
+
+    def test_non_number(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", "1")
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range("x", 0.5, 0, 1) == 0.5
+        assert check_in_range("x", 0, 0, 1) == 0
+
+    def test_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 0, 0, 1, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            check_in_range("x", 2, 0, 1)
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability("p", 1.5)
+
+
+class TestCheckInterval:
+    def test_valid(self):
+        assert check_interval("r", (0.5, 1.0)) == (0.5, 1.0)
+
+    def test_unordered(self):
+        with pytest.raises(ConfigurationError):
+            check_interval("r", (1.0, 0.5))
+
+    def test_not_a_pair(self):
+        with pytest.raises(ConfigurationError):
+            check_interval("r", (1.0,))
+        with pytest.raises(ConfigurationError):
+            check_interval("r", ("a", "b"))
