@@ -16,6 +16,7 @@
 """
 
 from repro.core.analysis import PlacementReport, analyze_placement
+from repro.core.blockmask import BlockMaskIndex, ServerBlockCache
 from repro.core.bounds import gamma_bound, spec_guarantee
 from repro.core.exhaustive import ExhaustiveSearch
 from repro.core.gen import TrimCachingGen
@@ -37,6 +38,8 @@ __all__ = [
     "storage_used",
     "placement_is_feasible",
     "CoverageTracker",
+    "BlockMaskIndex",
+    "ServerBlockCache",
     "TrimCachingSpec",
     "TrimCachingGen",
     "IndependentCaching",

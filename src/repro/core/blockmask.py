@@ -1,0 +1,178 @@
+"""Dense block-membership bitmasks for the vectorised solver engine.
+
+The set-based storage accounting on :class:`~repro.core.placement.
+PlacementInstance` (``marginal_storage``/``dedup_storage``) walks Python
+frozensets per (server, model) probe — fine for reference code, but it is
+the inner loop of every greedy solver. :class:`BlockMaskIndex` replaces
+those walks with dense numpy arrays over *block positions* ``0..B-1``:
+
+* ``member`` — ``(I, B)`` bool: does model ``i`` contain block ``b``?
+* ``sizes`` — ``(B,)`` int64 block sizes.
+
+With a per-server cached-block mask ``c`` (``(B,)`` bool) the marginal
+storage of *every* model at once is the single integer matvec
+``(member & ~c) @ sizes`` — exact (no float drift), so incremental
+maintenance of marginal-size tables is bit-stable.
+
+:class:`ServerBlockCache` maintains those per-server masks plus an
+``(M, I)`` marginal-size table updated by exact integer deltas as models
+are placed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+class BlockMaskIndex:
+    """Immutable dense index of model -> block membership.
+
+    Parameters
+    ----------
+    model_blocks:
+        Per dense model index, the frozenset of block ids it contains
+        (``PlacementInstance.model_blocks``).
+    block_sizes:
+        Block id -> size in bytes (``PlacementInstance.block_sizes``).
+        Every block referenced by a model must be present; unreferenced
+        blocks are allowed (they occupy a column that no model sets).
+    """
+
+    def __init__(
+        self,
+        model_blocks: Sequence[FrozenSet[int]],
+        block_sizes: Mapping[int, int],
+    ) -> None:
+        #: block position -> block id (ascending id order).
+        self.block_ids: np.ndarray = np.array(sorted(block_sizes), dtype=np.int64)
+        #: block id -> block position.
+        self.block_pos: Dict[int, int] = {
+            int(block_id): pos for pos, block_id in enumerate(self.block_ids)
+        }
+        #: ``(B,)`` block sizes in bytes, aligned with ``block_ids``.
+        self.sizes: np.ndarray = np.array(
+            [block_sizes[int(b)] for b in self.block_ids], dtype=np.int64
+        )
+        num_models = len(model_blocks)
+        num_blocks = len(self.block_ids)
+        #: ``(I, B)`` bool membership matrix.
+        self.member: np.ndarray = np.zeros((num_models, num_blocks), dtype=bool)
+        for index, blocks in enumerate(model_blocks):
+            if blocks:
+                self.member[index, [self.block_pos[b] for b in blocks]] = True
+        #: ``(I,)`` full model sizes ``D_i`` (sum of member block sizes).
+        self.model_sizes: np.ndarray = self.member @ self.sizes
+        #: per model, the sorted block *positions* it occupies (the sparse
+        #: row of ``member`` — the greedy engines touch only these).
+        self.model_positions: list = [
+            np.flatnonzero(row) for row in self.member
+        ]
+        member_i64 = self.member.astype(np.int64)
+        #: per model, the ``(B',)`` sizes of its own blocks and the
+        #: ``(I, B')`` membership sub-matrix over those blocks — the only
+        #: columns the per-placement delta update can touch, precomputed
+        #: contiguous so the hot matvec never gathers from ``member``.
+        self.model_block_sizes: list = [
+            self.sizes[positions] for positions in self.model_positions
+        ]
+        self.model_member_cols: list = [
+            np.ascontiguousarray(member_i64[:, positions])
+            for positions in self.model_positions
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_models(self) -> int:
+        """``I``."""
+        return int(self.member.shape[0])
+
+    @property
+    def num_blocks(self) -> int:
+        """``B``."""
+        return int(self.member.shape[1])
+
+    def empty_mask(self) -> np.ndarray:
+        """A fresh all-false ``(B,)`` block mask."""
+        return np.zeros(self.num_blocks, dtype=bool)
+
+    def mask_of(self, model_index: int) -> np.ndarray:
+        """``(B,)`` bool membership row of one model (a view)."""
+        return self.member[model_index]
+
+    def mask_from_ids(self, block_ids: Iterable[int]) -> np.ndarray:
+        """``(B,)`` bool mask from explicit block ids."""
+        mask = self.empty_mask()
+        positions = [self.block_pos[b] for b in block_ids]
+        if positions:
+            mask[positions] = True
+        return mask
+
+    def ids_from_mask(self, mask: np.ndarray) -> FrozenSet[int]:
+        """Block ids set by a ``(B,)`` mask (round-trip helper)."""
+        return frozenset(int(b) for b in self.block_ids[mask])
+
+    # ------------------------------------------------------------------
+    def marginal_size(self, model_index: int, cached_mask: np.ndarray) -> int:
+        """Bytes needed to add one model on top of ``cached_mask``."""
+        return int((self.member[model_index] & ~cached_mask) @ self.sizes)
+
+    def marginal_sizes(self, cached_mask: np.ndarray) -> np.ndarray:
+        """``(I,)`` int64 marginal bytes of *every* model at once."""
+        return (self.member & ~cached_mask) @ self.sizes
+
+    def union_size(self, model_indices: Iterable[int]) -> int:
+        """Deduplicated footprint of a set of models (``g_m``)."""
+        indices = list(model_indices)
+        if not indices:
+            return 0
+        return int(self.sizes[self.member[indices].any(axis=0)].sum())
+
+class ServerBlockCache:
+    """Mutable per-server cached-block state for the greedy engines.
+
+    Maintains, for each server:
+
+    * ``masks[m]`` — ``(B,)`` bool: blocks currently cached;
+    * ``used[m]`` — deduplicated bytes currently used;
+    * ``extras[m]`` — ``(I,)`` int64: marginal bytes of every model.
+
+    ``extras`` is updated *incrementally*: adding a model contributes only
+    its newly cached blocks, and each model's marginal shrinks by exactly
+    the sizes of the new blocks it contains. All arithmetic is integer,
+    so the table is always exactly equal to a from-scratch recompute.
+    """
+
+    def __init__(self, index: BlockMaskIndex, num_servers: int) -> None:
+        self.index = index
+        self.masks = np.zeros((num_servers, index.num_blocks), dtype=bool)
+        self.used = np.zeros(num_servers, dtype=np.int64)
+        self.extras = np.tile(index.model_sizes, (num_servers, 1))
+
+    def marginal(self, server: int, model_index: int) -> int:
+        """Marginal bytes of one (server, model) pair — O(1) lookup."""
+        return int(self.extras[server, model_index])
+
+    def marginal_row(self, server: int) -> np.ndarray:
+        """``(I,)`` marginal bytes on one server (a view; do not mutate)."""
+        return self.extras[server]
+
+    def add(self, server: int, model_index: int) -> int:
+        """Cache a model's blocks on a server; returns the bytes added."""
+        index = self.index
+        positions = index.model_positions[model_index]
+        if positions.size == 0:
+            return 0
+        mask_row = self.masks[server]
+        already = mask_row[positions]
+        mask_row[positions] = True
+        # Sizes of the newly cached blocks, zero where already cached:
+        # every model containing one of the new blocks gets exactly that
+        # much cheaper on this server.
+        new_sizes = index.model_block_sizes[model_index] * ~already
+        added = int(new_sizes.sum())
+        if added:
+            self.extras[server] -= index.model_member_cols[model_index] @ new_sizes
+            self.used[server] += added
+        return added

@@ -204,6 +204,14 @@ def knapsack_value_dp(
     rounded value w`` is filled item by item. Guarantees total value at
     least ``(1 - ε)`` of the optimum.
 
+    Each item's state sweep is one numpy slice-shift update (the shifted
+    candidate row is materialised before the masked write, which gives
+    exactly the 0/1 semantics of the seed's descending Python loop), and
+    instead of a dense ``(items × states)`` take matrix the backtrack
+    uses a compact per-item record of the improved state indices.
+    Selections are bit-identical to the seed implementation (retained as
+    :func:`repro.core.reference.reference_knapsack_value_dp`).
+
     Returns ``(true_value_of_selection, selected_indices)``.
 
     Raises
@@ -232,28 +240,27 @@ def knapsack_value_dp(
             f"(> {max_states}); increase epsilon or use another backend"
         )
 
-    inf = float("inf")
-    min_weight = [inf] * (total_rounded + 1)
+    min_weight = np.full(total_rounded + 1, np.inf)
     min_weight[0] = 0.0
-    take = np.zeros((len(items), total_rounded + 1), dtype=bool)
+    # Per item: the state indices whose minimal weight this item improved
+    # (all the backtrack needs — the compact form of the take matrix).
+    improved_states: List[np.ndarray] = []
     reachable = 0
-    for item_pos, ((_, _, weight), value_units) in enumerate(zip(items, rounded)):
+    for (_, _, weight), value_units in zip(items, rounded):
         reachable = min(reachable + value_units, total_rounded)
-        for units in range(reachable, value_units - 1, -1):
-            candidate = min_weight[units - value_units] + weight
-            if candidate < min_weight[units]:
-                min_weight[units] = candidate
-                take[item_pos, units] = True
+        shifted = min_weight[: reachable - value_units + 1] + weight
+        segment = min_weight[value_units : reachable + 1]
+        improved = shifted < segment
+        np.copyto(segment, shifted, where=improved)
+        improved_states.append(np.flatnonzero(improved) + value_units)
 
-    best_units = 0
-    for units in range(total_rounded, -1, -1):
-        if min_weight[units] <= capacity:
-            best_units = units
-            break
+    best_units = int(np.flatnonzero(min_weight <= capacity)[-1])
     selected: List[int] = []
     units = best_units
     for item_pos in range(len(items) - 1, -1, -1):
-        if take[item_pos, units]:
+        states = improved_states[item_pos]
+        pos = int(np.searchsorted(states, units))
+        if pos < len(states) and states[pos] == units:
             selected.append(items[item_pos][0])
             units -= rounded[item_pos]
     if units != 0:

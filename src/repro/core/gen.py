@@ -5,30 +5,38 @@ hit-ratio gain whose *deduplicated* marginal storage fits the server's
 remaining capacity, repeating until nothing useful fits. Guarantee: 1/Γ of
 optimal (Theorem 3) — not constant, matching Proposition 2.
 
-Two implementations with provably identical output are provided:
+Two implementations with provably identical output are provided, both
+driven by the incremental :class:`~repro.core.objective.CoverageTracker`
+(maintained gain matrix) and :class:`~repro.core.blockmask.
+ServerBlockCache` (exact integer marginal-storage table):
 
 * ``accelerated=False`` — the literal algorithm: re-scan all (m, i) pairs
-  per step.
-* ``accelerated=True`` (default) — lazy greedy: since ``U`` is submodular,
-  a pair's previously computed gain upper-bounds its current gain, so a
-  max-heap of stale gains avoids most re-evaluation. Pairs that currently
-  do not fit are parked per server and revisited when that server's cached
-  block set changes (the only event that can shrink their marginal size —
-  the storage cost is submodular too).
+  per step (per-server stable argsort, exactly the seed's scan order).
+* ``accelerated=True`` (default) — the vectorised engine: a maintained
+  ``(M, I)`` candidate-value matrix holds each pair's gain where the pair
+  is unplaced, positive-gain and currently fits, and ``-1`` elsewhere.
+  A step is one ``argmax`` over that matrix; placing (m, i) then only
+  dirties row ``m`` (storage/remaining changed) and column ``i`` (gains
+  changed), so the refresh is ``O(M + I)`` plus the tracker's ``O(M·K)``
+  column update. ``np.argmax`` returns the first (row-major) maximiser —
+  the same lowest-server-then-lowest-model tie-break as the literal scan.
+
+The seed implementations are retained verbatim in
+:mod:`repro.core.reference`; the equivalence tests assert bit-identical
+placements against them.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 
+from repro.core.blockmask import ServerBlockCache
 from repro.core.objective import CoverageTracker
 from repro.core.placement import Placement, PlacementInstance
 from repro.core.result import SolverResult
-from repro.errors import ConfigurationError
 
 # Gains are sums of non-negative products (demand x indicator), so a true
 # zero gain is exactly 0.0 and strict comparisons need no epsilon floor.
@@ -40,7 +48,7 @@ class TrimCachingGen:
     Parameters
     ----------
     accelerated:
-        Use the lazy-greedy implementation (identical output, faster).
+        Use the vectorised argmax engine (identical output, faster).
     fill_zero_gain:
         The paper's loop runs "until no server can cache any model", which
         would also cache models with zero marginal gain. Those placements
@@ -59,27 +67,35 @@ class TrimCachingGen:
         """Run the greedy until no (positive-gain) pair fits."""
         start = time.perf_counter()
         if self.accelerated:
-            placement, steps = self._solve_lazy(instance)
+            placement, steps, tracker = self._solve_vectorized(instance)
         else:
-            placement, steps = self._solve_naive(instance)
+            placement, steps, tracker = self._solve_naive(instance)
         if self.fill_zero_gain:
             self._fill_remaining(instance, placement)
-        from repro.core.objective import hit_ratio  # local to avoid cycle at import
+            from repro.core.objective import hit_ratio  # local: import cycle
 
+            # Zero-gain filler changes `served` (zero-demand users), so
+            # recompute from the final placement.
+            ratio = hit_ratio(instance, placement)
+        else:
+            # The tracker's served matrix is exactly the placement's
+            # served matrix, so its ratio equals a full recompute.
+            ratio = tracker.hit_ratio()
         return SolverResult(
             placement=placement,
-            hit_ratio=hit_ratio(instance, placement),
+            hit_ratio=ratio,
             runtime_s=time.perf_counter() - start,
             solver=self.name,
             stats={"greedy_steps": steps, "accelerated": self.accelerated},
         )
 
     # ------------------------------------------------------------------
-    def _solve_naive(self, instance: PlacementInstance) -> Tuple[Placement, int]:
+    def _solve_naive(
+        self, instance: PlacementInstance
+    ) -> Tuple[Placement, int, CoverageTracker]:
         placement = instance.new_placement()
         tracker = CoverageTracker(instance)
-        cached_blocks: List[Set[int]] = [set() for _ in range(instance.num_servers)]
-        used = np.zeros(instance.num_servers, dtype=np.int64)
+        cache = ServerBlockCache(instance.block_index, instance.num_servers)
         steps = 0
         while True:
             gains = tracker.gain_matrix()
@@ -87,95 +103,73 @@ class TrimCachingGen:
             best_gain = -1.0
             best_pair = None
             for server in range(instance.num_servers):
-                remaining = int(instance.capacities[server] - used[server])
-                if remaining < 0:
+                remaining = int(instance.capacities[server] - cache.used[server])
+                extras = cache.marginal_row(server)
+                if remaining == 0 and not np.any(
+                    (extras == 0) & (gains[server] > 0.0)
+                ):
+                    # Full server: only a zero-marginal (fully shared)
+                    # model could still be cached — skip only when none
+                    # qualifies, it is legal to cache at exact capacity.
                     continue
                 order = np.argsort(-gains[server], kind="stable")
                 for model_index in order:
                     gain = gains[server, model_index]
                     if gain <= best_gain or gain <= 0.0:
                         break
-                    extra = instance.marginal_storage(
-                        int(model_index), cached_blocks[server]
-                    )
-                    if extra <= remaining:
+                    if extras[model_index] <= remaining:
                         best_gain = gain
                         best_pair = (server, int(model_index))
                         break
             if best_pair is None:
                 break
             server, model_index = best_pair
-            self._apply(
-                instance, placement, tracker, cached_blocks, used, server, model_index
-            )
+            placement.add(server, model_index)
+            cache.add(server, model_index)
+            tracker.mark_served(server, model_index)
             steps += 1
-        return placement, steps
+        return placement, steps, tracker
 
     # ------------------------------------------------------------------
-    def _solve_lazy(self, instance: PlacementInstance) -> Tuple[Placement, int]:
+    def _solve_vectorized(
+        self, instance: PlacementInstance
+    ) -> Tuple[Placement, int, CoverageTracker]:
         placement = instance.new_placement()
         tracker = CoverageTracker(instance)
-        cached_blocks: List[Set[int]] = [set() for _ in range(instance.num_servers)]
-        used = np.zeros(instance.num_servers, dtype=np.int64)
+        cache = ServerBlockCache(instance.block_index, instance.num_servers)
+        gains = tracker.gain_matrix_view()
+        extras = cache.extras
+        remaining = instance.capacities.astype(np.int64)[:, None].copy()
+        placed = placement.matrix
+        num_models = instance.num_models
 
-        initial = tracker.gain_matrix()
-        heap: List[Tuple[float, int, int]] = []
-        for server in range(instance.num_servers):
-            for model_index in range(instance.num_models):
-                gain = initial[server, model_index]
-                if gain > 0.0:
-                    heap.append((-gain, server, model_index))
-        heapq.heapify(heap)
-        # Pairs whose gain is current but whose marginal size does not fit;
-        # keyed by server, revisited when that server's block set grows.
-        parked: Dict[int, List[Tuple[float, int, int]]] = {
-            m: [] for m in range(instance.num_servers)
-        }
+        # Every step is one masked argmax: pairs that fit keep their gain,
+        # the rest read as -1. Placed pairs need no mask of their own —
+        # marking (m, i) served zeroes gains[m, i] exactly (every product
+        # in its column refresh is 0.0), so `> 0` can never re-select
+        # them; the final scalar check stops when no fitting pair has
+        # positive gain. np.argmax takes the first (row-major) maximiser,
+        # i.e. lowest server then lowest model among exact ties — the
+        # literal scan's tie-break.
+        fit = np.empty(extras.shape, dtype=bool)
+        value = np.empty(extras.shape)
         steps = 0
-        while heap:
-            neg_gain, server, model_index = heapq.heappop(heap)
-            if placement.contains(server, model_index):
-                continue
-            fresh = tracker.gain(server, model_index)
-            if fresh <= 0.0:
-                continue
-            candidate = (-fresh, server, model_index)
-            if heap and heap[0] < candidate:
-                # Stale (or tied with a lower-index pair): re-queue with
-                # the fresh key so ties break exactly like the naive scan.
-                heapq.heappush(heap, candidate)
-                continue
-            extra = instance.marginal_storage(model_index, cached_blocks[server])
-            if extra > instance.capacities[server] - used[server]:
-                parked[server].append((-fresh, server, model_index))
-                continue
-            self._apply(
-                instance, placement, tracker, cached_blocks, used, server, model_index
-            )
+        while True:
+            np.less_equal(extras, remaining, out=fit)
+            value.fill(-1.0)
+            np.copyto(value, gains, where=fit)
+            flat = int(np.argmax(value))
+            server, model_index = divmod(flat, num_models)
+            if (
+                gains[server, model_index] <= 0.0
+                or extras[server, model_index] > remaining[server, 0]
+            ):
+                break
+            placed[server, model_index] = True
+            remaining[server, 0] -= cache.add(server, model_index)
+            tracker.mark_served(server, model_index)
             steps += 1
-            # The server's block set grew: parked pairs may fit now.
-            if parked[server]:
-                for entry in parked[server]:
-                    heapq.heappush(heap, entry)
-                parked[server] = []
-        return placement, steps
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _apply(
-        instance: PlacementInstance,
-        placement: Placement,
-        tracker: CoverageTracker,
-        cached_blocks: List[Set[int]],
-        used: np.ndarray,
-        server: int,
-        model_index: int,
-    ) -> None:
-        extra = instance.marginal_storage(model_index, cached_blocks[server])
-        placement.add(server, model_index)
-        cached_blocks[server] |= instance.model_blocks[model_index]
-        used[server] += extra
-        tracker.mark_served(server, model_index)
+        return placement, steps, tracker
 
     # ------------------------------------------------------------------
     def _fill_remaining(

@@ -7,7 +7,7 @@ already served and answers marginal-gain queries in vectorised form.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -99,6 +99,18 @@ class CoverageTracker:
 
     All gains are *unnormalised* (probability mass, not ratio); divide by
     ``instance.total_demand`` to convert.
+
+    The ``(M, I)`` gain matrix is *maintained* rather than recomputed:
+    caching (m, i) only changes column ``i`` (the users it newly serves
+    stop counting toward every server that could reach them), so
+    :meth:`mark_served` refreshes that one column in ``O(M·K)`` instead
+    of the full ``O(M·K·I)`` einsum. The refresh runs the same einsum
+    kernel on column *views* of the same arrays the full recompute would
+    use (identical dtypes and stride patterns, hence identical
+    accumulation order), which keeps the maintained matrix bit-identical
+    to the seed's from-scratch recompute — greedy tie-breaking is
+    unaffected. Enforced by the equivalence tests against
+    :mod:`repro.core.reference`, which assert exact equality.
     """
 
     def __init__(self, instance: PlacementInstance) -> None:
@@ -106,35 +118,52 @@ class CoverageTracker:
         self.served = np.zeros(
             (instance.num_users, instance.num_models), dtype=bool
         )
+        #: ``(K, I)`` demand mass not yet served, maintained per column.
+        self._weighted = instance.demand * ~self.served
+        self._gains = np.einsum(
+            "mki,ki->mi", instance.feasible, self._weighted
+        )
 
     def unserved_demand(self) -> np.ndarray:
         """``(K, I)`` demand mass not yet served."""
-        return self.instance.demand * ~self.served
+        return self._weighted.copy()
 
     def gain(self, server: int, model_index: int) -> float:
         """Marginal mass served by caching ``model_index`` on ``server``."""
-        feas = self.instance.feasible[server, :, model_index]
-        unserved = ~self.served[:, model_index]
-        return float(
-            (self.instance.demand[:, model_index] * feas * unserved).sum()
-        )
+        return float(self._gains[server, model_index])
 
     def gain_matrix(self) -> np.ndarray:
         """``(M, I)`` marginal masses for every (server, model) pair."""
-        weighted = self.unserved_demand()
-        return np.einsum("mki,ki->mi", self.instance.feasible, weighted)
+        return self._gains.copy()
+
+    def gain_matrix_view(self) -> np.ndarray:
+        """The maintained ``(M, I)`` gain matrix itself (do not mutate)."""
+        return self._gains
 
     def server_gains(self, server: int) -> np.ndarray:
         """``(I,)`` marginal masses for one server (the Spec sub-problem's
         ``u(m, i)`` values of eq. (14), with ``I2`` implicit in
         ``self.served``)."""
-        weighted = self.unserved_demand()
-        return (self.instance.feasible[server] * weighted).sum(axis=0)
+        return self._gains[server].copy()
 
     def mark_served(self, server: int, model_index: int) -> None:
         """Record that (server, model) is now cached."""
         feas = self.instance.feasible[server, :, model_index]
-        self.served[:, model_index] |= feas
+        served_col = self.served[:, model_index]
+        newly = feas > served_col  # feasible and not yet served
+        if not newly.any():
+            return
+        served_col |= feas
+        # Still-unserved entries keep their exact bits; newly served ones
+        # become exactly 0.0 — identical to recomputing demand * ~served.
+        self._weighted[:, model_index][newly] = 0.0
+        # Column views of the same arrays the full einsum would reduce:
+        # same kernel, same accumulation order, same bits.
+        self._gains[:, model_index] = np.einsum(
+            "mk,k->m",
+            self.instance.feasible[:, :, model_index],
+            self._weighted[:, model_index],
+        )
 
     def mark_server_models(self, server: int, model_indices: Iterable[int]) -> None:
         """Record a whole per-server caching decision at once."""

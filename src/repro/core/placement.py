@@ -16,6 +16,7 @@ from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Seque
 
 import numpy as np
 
+from repro.core.blockmask import BlockMaskIndex
 from repro.errors import PlacementError
 from repro.models.library import ModelLibrary
 
@@ -95,6 +96,7 @@ class PlacementInstance:
         self.block_sizes: Dict[int, int] = {
             block_id: library.block_size(block_id) for block_id in library.block_ids
         }
+        self._block_index: Optional[BlockMaskIndex] = None
 
     # ------------------------------------------------------------------
     @property
@@ -139,6 +141,18 @@ class PlacementInstance:
         for index in model_indices:
             blocks |= self.model_blocks[index]
         return sum(self.block_sizes[b] for b in blocks)
+
+    @property
+    def block_index(self) -> BlockMaskIndex:
+        """Dense block-membership bitmask index (built lazily, cached).
+
+        Backs the vectorised storage accounting used by the solver
+        engines; :meth:`marginal_storage`/:meth:`dedup_storage` above are
+        the equivalent set-based reference paths.
+        """
+        if self._block_index is None:
+            self._block_index = BlockMaskIndex(self.model_blocks, self.block_sizes)
+        return self._block_index
 
     def new_placement(self) -> "Placement":
         """An empty placement with this instance's shape."""

@@ -17,7 +17,7 @@ time polynomial in ``M`` and ``I`` for fixed shared-block structure.
 from __future__ import annotations
 
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,59 @@ from repro.core.result import SolverResult
 from repro.errors import ConfigurationError, SolverError
 
 # Utility masses are sums of non-negative products: exact zeros, no dust.
+
+
+class _SubproblemContext:
+    """Per-solve precomputation shared by all per-server sub-problems.
+
+    The seed implementation rebuilt, *per server*, each model's shared
+    block set, its specific-block weight and — per combination — the
+    eligible model list via Python subset checks (``O(M · |A| · I)`` set
+    walks overall). All of that is server-independent, so it is built
+    once per solve here, with eligibility as a dense ``(|A|, I)`` matrix.
+    """
+
+    #: Combination chunk size for the eligibility matmul (bounds the
+    #: float32 temporaries to a few MB even at the |A| guard limit).
+    CHUNK = 4096
+
+    def __init__(
+        self, instance: PlacementInstance, combos: Sequence[SharedCombination]
+    ) -> None:
+        index = instance.block_index
+        shared_ids = sorted(instance.library.shared_block_ids)
+        shared_pos = {block_id: pos for pos, block_id in enumerate(shared_ids)}
+        num_shared = len(shared_ids)
+
+        # (I, B_shared) bool: each model's shared blocks.
+        shared_cols = (
+            [index.block_pos[b] for b in shared_ids] if shared_ids else []
+        )
+        shared_member = index.member[:, shared_cols]
+        shared_sizes = index.sizes[shared_cols]
+        #: ``D_N(i) = D_i - d_{N,i}`` — the specific-block footprint,
+        #: independent of N because a model is only eligible when ALL its
+        #: shared blocks are in N.
+        self.specific_weight = index.model_sizes - shared_member @ shared_sizes
+
+        #: ``d_N`` per combination.
+        self.combo_sizes = np.array(
+            [combo.size_bytes for combo in combos], dtype=np.int64
+        )
+        combo_mask = np.zeros((len(combos), num_shared), dtype=bool)
+        for row, combo in enumerate(combos):
+            if combo.blocks:
+                combo_mask[row, [shared_pos[b] for b in combo.blocks]] = True
+
+        #: ``(|A|, I)`` bool: are ALL of model i's shared blocks in N?
+        self.eligible = np.zeros((len(combos), instance.num_models), dtype=bool)
+        shared_f = shared_member.astype(np.float32)
+        for start in range(0, len(combos), self.CHUNK):
+            stop = min(start + self.CHUNK, len(combos))
+            # Count of model-shared blocks *missing* from each combo;
+            # exact in float32 (counts are far below 2**24).
+            missing = (~combo_mask[start:stop]).astype(np.float32) @ shared_f.T
+            self.eligible[start:stop] = missing == 0.0
 
 
 class TrimCachingSpec:
@@ -129,6 +182,7 @@ class TrimCachingSpec:
         server: int,
         utilities: np.ndarray,
         combos: Sequence[SharedCombination],
+        context: Optional[_SubproblemContext] = None,
     ) -> Tuple[float, List[int]]:
         """Algorithm 2 on sub-problem P2.1m.
 
@@ -139,60 +193,59 @@ class TrimCachingSpec:
             per model, already excluding requests earlier servers covered.
         combos:
             The combination set ``A``.
+        context:
+            Server-independent precomputation (eligibility matrix,
+            specific weights). Built on the fly when absent; ``solve``
+            builds it once and shares it across all servers.
 
         Returns
         -------
         (best_mass, selected_model_indices)
         """
+        if context is None:
+            context = _SubproblemContext(instance, combos)
         capacity = int(instance.capacities[server])
-        shared_of = [
-            frozenset(blocks & instance.library.shared_block_ids)
-            for blocks in instance.model_blocks
-        ]
-        # D_N(i) = D_i - d_{N,i}: the model's specific-block footprint —
-        # independent of N because a model is only eligible when ALL its
-        # shared blocks are in N.
-        specific_weight = [
-            int(
-                instance.model_sizes[index]
-                - instance.library.blocks_size(shared_of[index])
-            )
-            for index in range(instance.num_models)
-        ]
 
-        # Pre-compute each combination's eligible set and its utility sum
-        # (an upper bound on what the combo's knapsack can achieve), then
-        # traverse high-potential combos first so the bound prunes the
-        # rest. This changes nothing about which combo wins — only how
-        # many knapsacks actually run.
-        candidates = []
-        for combo in combos:
-            if combo.size_bytes > capacity:
-                continue
-            eligible = [
-                index
-                for index in range(instance.num_models)
-                if utilities[index] > 0.0 and shared_of[index] <= combo.blocks
-            ]
-            if not eligible:
-                continue
-            bound = float(sum(utilities[index] for index in eligible))
-            candidates.append((bound, combo, eligible))
-        candidates.sort(key=lambda entry: -entry[0])
+        # Candidate combos: fit the capacity and can serve some positive
+        # utility. Each candidate's utility sum over its eligible models
+        # is an upper bound on what its knapsack can achieve; traversing
+        # high-potential combos first lets the bound prune the rest. This
+        # changes nothing about which combo wins — only how many
+        # knapsacks actually run.
+        positive = utilities > 0.0
+        eligible_pos = context.eligible & positive[None, :]
+        candidate_rows = np.flatnonzero(
+            (context.combo_sizes <= capacity) & eligible_pos.any(axis=1)
+        )
+        # Bounds via Python float sums in ascending-index order — the
+        # seed's exact accumulation, so sort order and pruning cannot
+        # drift from it by a rounding ulp (a BLAS matvec here can).
+        eligible_per_row = [
+            np.flatnonzero(eligible_pos[row]) for row in candidate_rows
+        ]
+        bounds = [
+            float(sum(utilities[index] for index in eligible))
+            for eligible in eligible_per_row
+        ]
+        # Stable sort: ties keep combination enumeration order, exactly
+        # like the seed's stable list sort.
+        order = np.argsort(-np.asarray(bounds, dtype=float), kind="stable")
 
         best_mass = 0.0
         best_selection: List[int] = []
-        for bound, combo, eligible in candidates:
-            if bound <= best_mass:
+        for pos in order:
+            row = candidate_rows[pos]
+            if bounds[pos] <= best_mass:
                 break  # sorted: no later combo can beat the incumbent
+            eligible = eligible_per_row[pos]
             values = [float(utilities[index]) for index in eligible]
-            weights = [specific_weight[index] for index in eligible]
+            weights = [int(context.specific_weight[index]) for index in eligible]
             mass, chosen = self._run_knapsack(
-                values, weights, capacity - combo.size_bytes
+                values, weights, capacity - int(context.combo_sizes[row])
             )
             if mass > best_mass:
                 best_mass = mass
-                best_selection = [eligible[pos] for pos in chosen]
+                best_selection = [int(eligible[p]) for p in chosen]
         return best_mass, best_selection
 
     # ------------------------------------------------------------------
@@ -207,13 +260,14 @@ class TrimCachingSpec:
         combos = enumerate_shared_combinations(
             instance.library, self.combinations, self.max_combinations
         )
+        context = _SubproblemContext(instance, combos)
         placement = instance.new_placement()
         tracker = CoverageTracker(instance)
         per_server_mass: List[float] = []
         for server in self._ordered_servers(instance):
             utilities = tracker.server_gains(server)  # u(m, i) with I2 applied
             mass, selection = self.solve_subproblem(
-                instance, server, utilities, combos
+                instance, server, utilities, combos, context
             )
             for model_index in selection:
                 placement.add(server, model_index)

@@ -1,0 +1,125 @@
+"""Tests for the dense block-membership index and server block cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.blockmask import BlockMaskIndex, ServerBlockCache
+from repro.core.placement import PlacementInstance
+from repro.models.blocks import ParameterBlock
+from repro.models.library import ModelLibrary
+from repro.models.model import Model
+from repro.utils.units import MB
+
+
+def random_instance(rng, num_models=8, num_blocks=20, num_servers=3):
+    blocks = [
+        ParameterBlock(b, int(rng.integers(1, 64))) for b in range(num_blocks)
+    ]
+    models = []
+    for i in range(num_models):
+        count = int(rng.integers(1, 6))
+        chosen = sorted(
+            set(int(x) for x in rng.integers(0, num_blocks, size=count))
+        )
+        models.append(Model(i, tuple(chosen)))
+    library = ModelLibrary(blocks, models)
+    demand = rng.random((4, num_models)) + 0.01
+    feasible = rng.random((num_servers, 4, num_models)) < 0.6
+    capacities = [int(rng.integers(0, 400)) for _ in range(num_servers)]
+    return PlacementInstance(library, demand, feasible, capacities)
+
+
+class TestBlockMaskIndex:
+    def test_membership_matches_model_blocks(self, tiny_instance):
+        index = tiny_instance.block_index
+        for model_index in range(tiny_instance.num_models):
+            mask = index.mask_of(model_index)
+            assert index.ids_from_mask(mask) == tiny_instance.model_blocks[
+                model_index
+            ]
+
+    def test_model_sizes_match_library(self, tiny_instance):
+        index = tiny_instance.block_index
+        assert np.array_equal(index.model_sizes, tiny_instance.model_sizes)
+
+    def test_marginal_sizes_match_set_walk(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            instance = random_instance(rng)
+            index = instance.block_index
+            cached_ids = set(
+                int(b)
+                for b in rng.choice(
+                    index.block_ids, size=rng.integers(0, 10), replace=False
+                )
+            )
+            cached_mask = index.mask_from_ids(cached_ids)
+            vectorised = index.marginal_sizes(cached_mask)
+            for model_index in range(instance.num_models):
+                expected = instance.marginal_storage(model_index, cached_ids)
+                assert vectorised[model_index] == expected
+                assert index.marginal_size(model_index, cached_mask) == expected
+
+    def test_union_size_matches_dedup(self):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            instance = random_instance(rng)
+            index = instance.block_index
+            subset = [
+                int(i)
+                for i in rng.choice(
+                    instance.num_models,
+                    size=rng.integers(0, instance.num_models + 1),
+                    replace=False,
+                )
+            ]
+            assert index.union_size(subset) == instance.dedup_storage(subset)
+
+    def test_block_index_cached_on_instance(self, tiny_instance):
+        assert tiny_instance.block_index is tiny_instance.block_index
+
+
+class TestServerBlockCache:
+    def test_incremental_matches_set_walk(self):
+        """A random placement sequence keeps masks/used/extras exact."""
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            instance = random_instance(rng)
+            index = instance.block_index
+            cache = ServerBlockCache(index, instance.num_servers)
+            reference_blocks = [set() for _ in range(instance.num_servers)]
+            placed = [[] for _ in range(instance.num_servers)]
+            for _ in range(12):
+                server = int(rng.integers(0, instance.num_servers))
+                model_index = int(rng.integers(0, instance.num_models))
+                expected_extra = instance.marginal_storage(
+                    model_index, reference_blocks[server]
+                )
+                assert cache.marginal(server, model_index) == expected_extra
+                added = cache.add(server, model_index)
+                assert added == expected_extra
+                reference_blocks[server] |= instance.model_blocks[model_index]
+                placed[server].append(model_index)
+                assert cache.used[server] == instance.dedup_storage(
+                    placed[server]
+                )
+                row = cache.marginal_row(server)
+                for other in range(instance.num_models):
+                    assert row[other] == instance.marginal_storage(
+                        other, reference_blocks[server]
+                    )
+
+    def test_add_is_idempotent(self, tiny_instance):
+        cache = ServerBlockCache(tiny_instance.block_index, 2)
+        first = cache.add(0, 0)
+        assert first == 15 * MB
+        assert cache.add(0, 0) == 0
+        assert cache.used[0] == 15 * MB
+
+    def test_shared_block_discount(self, tiny_instance):
+        # Models 0 and 1 share the 10 MB base block.
+        cache = ServerBlockCache(tiny_instance.block_index, 2)
+        cache.add(0, 0)
+        assert cache.marginal(0, 1) == 5 * MB
+        assert cache.add(0, 1) == 5 * MB
+        assert cache.used[0] == 20 * MB

@@ -103,6 +103,59 @@ class TestGreedyQuality:
         assert greedy.hit_ratio >= 0.75 * optimal.hit_ratio
 
 
+class TestExactCapacityZeroMarginal:
+    """Regression: a server at exact capacity must still cache a model
+    whose blocks are already fully cached (zero marginal bytes).
+
+    The naive scan skips exhausted servers as an optimisation; skipping
+    on ``remaining == 0`` alone would wrongly drop these free, legal,
+    positive-gain placements.
+    """
+
+    @pytest.fixture
+    def nested_instance(self):
+        from repro.models.blocks import ParameterBlock
+        from repro.models.library import ModelLibrary
+        from repro.models.model import Model
+        from tests.conftest import make_instance
+
+        # Model 1's blocks are a subset of model 0's, so after caching
+        # model 0 the marginal cost of model 1 is exactly zero.
+        blocks = [ParameterBlock(0, 70), ParameterBlock(1, 30)]
+        models = [Model(0, (0, 1)), Model(1, (0,))]
+        library = ModelLibrary(blocks, models)
+        demand = np.array([[0.9, 0.1]])
+        feasible = np.ones((1, 1, 2), dtype=bool)
+        # Capacity exactly fits model 0; nothing is left afterwards.
+        return make_instance(library, demand, feasible, [100])
+
+    @pytest.mark.parametrize("accelerated", [True, False])
+    def test_zero_marginal_cacheable_at_exact_capacity(
+        self, nested_instance, accelerated
+    ):
+        result = TrimCachingGen(accelerated=accelerated).solve(nested_instance)
+        assert set(result.placement.models_on(0)) == {0, 1}
+        assert result.hit_ratio == pytest.approx(1.0)
+        assert storage_used(nested_instance, result.placement, 0) == 100
+
+    def test_zero_capacity_server_with_free_model_stays_empty(self):
+        """remaining == 0 from the start and no cached blocks: nothing
+        has zero marginal cost, so the skip must engage."""
+        from repro.models.blocks import ParameterBlock
+        from repro.models.library import ModelLibrary
+        from repro.models.model import Model
+        from tests.conftest import make_instance
+
+        blocks = [ParameterBlock(0, 10)]
+        library = ModelLibrary(blocks, [Model(0, (0,))])
+        demand = np.array([[1.0]])
+        feasible = np.ones((1, 1, 1), dtype=bool)
+        instance = make_instance(library, demand, feasible, [0])
+        for accelerated in (True, False):
+            result = TrimCachingGen(accelerated=accelerated).solve(instance)
+            assert result.placement.total_placements() == 0
+
+
 class TestFillZeroGain:
     def test_fills_leftover_capacity(self, tiny_instance):
         plain = TrimCachingGen(fill_zero_gain=False).solve(tiny_instance)

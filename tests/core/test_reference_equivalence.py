@@ -1,0 +1,191 @@
+"""Equivalence of the vectorised solver engine against the seed code.
+
+The seed implementations (pure-Python inner loops) are retained verbatim
+in :mod:`repro.core.reference`; these tests pin the vectorised engine to
+them:
+
+* the incremental :class:`CoverageTracker` maintains a gain matrix that
+  is **bit-identical** to the reference's full einsum recompute;
+* ``TrimCachingGen`` — lazy/vectorised and naive — produces placements
+  identical to the seed naive greedy (the literal Algorithm 3, whose
+  einsum gains define the canonical tie-breaking);
+* ``TrimCachingSpec`` matches the seed Spec;
+* the vectorised ``knapsack_value_dp`` returns the exact selections of
+  the seed DP, including its guard errors.
+
+The randomized sweeps run ≥20 seeded scenario instances each (both
+library cases, several capacity regimes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import knapsack_value_dp
+from repro.core.gen import TrimCachingGen
+from repro.core.objective import CoverageTracker
+from repro.core.placement import PlacementInstance
+from repro.core.reference import (
+    ReferenceCoverageTracker,
+    ReferenceGen,
+    ReferenceSpec,
+    reference_knapsack_value_dp,
+)
+from repro.core.spec import TrimCachingSpec
+from repro.errors import SolverError
+from repro.models.blocks import ParameterBlock
+from repro.models.library import ModelLibrary
+from repro.models.model import Model
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+from repro.utils.units import GB
+
+# 24 scenario instances: 2 library cases x 3 capacity regimes x 4 seeds.
+SCENARIO_GRID = [
+    (case, storage, seed)
+    for case in ("special", "general")
+    for storage in (0.06, 0.12, 0.3)
+    for seed in (0, 1, 2, 3)
+]
+
+
+def grid_instance(case, storage, seed) -> PlacementInstance:
+    config = ScenarioConfig(
+        num_servers=6,
+        num_users=40,
+        num_models=24,
+        requests_per_user=10,
+        storage_bytes=int(storage * GB),
+        library_case=case,
+    )
+    return build_scenario(config, seed=seed).instance
+
+
+def random_tracker_instance(rng) -> PlacementInstance:
+    num_models = int(rng.integers(1, 12))
+    num_blocks = num_models * 2
+    blocks = [
+        ParameterBlock(b, int(rng.integers(1, 50))) for b in range(num_blocks)
+    ]
+    models = [
+        Model(
+            i,
+            tuple(
+                sorted(
+                    set(
+                        int(x)
+                        for x in rng.integers(
+                            0, num_blocks, size=rng.integers(1, 5)
+                        )
+                    )
+                )
+            ),
+        )
+        for i in range(num_models)
+    ]
+    library = ModelLibrary(blocks, models)
+    num_servers = int(rng.integers(1, 6))
+    num_users = int(rng.integers(1, 120))
+    demand = rng.random((num_users, num_models)) + 1e-6
+    feasible = rng.random((num_servers, num_users, num_models)) < 0.5
+    capacities = [int(rng.integers(0, 200)) for _ in range(num_servers)]
+    return PlacementInstance(library, demand, feasible, capacities)
+
+
+class TestTrackerBitEquality:
+    def test_maintained_gains_bit_identical(self):
+        """Column refreshes reproduce the full einsum bit for bit."""
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            instance = random_tracker_instance(rng)
+            new = CoverageTracker(instance)
+            ref = ReferenceCoverageTracker(instance)
+            assert (new.gain_matrix() == ref.gain_matrix()).all()
+            for _ in range(25):
+                server = int(rng.integers(0, instance.num_servers))
+                model = int(rng.integers(0, instance.num_models))
+                new.mark_served(server, model)
+                ref.mark_served(server, model)
+                assert (new.served == ref.served).all()
+                assert (new.gain_matrix() == ref.gain_matrix()).all()
+                assert (new.unserved_demand() == ref.unserved_demand()).all()
+                assert new.gain(server, model) == ref.gain(server, model)
+                assert (
+                    new.server_gains(server) == ref.server_gains(server)
+                ).all()
+
+    def test_placed_pair_gain_is_exact_zero(self):
+        """mark_served zeroes the pair's own gain exactly (the vectorised
+        engine's argmax relies on this instead of a placed mask)."""
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            instance = random_tracker_instance(rng)
+            tracker = CoverageTracker(instance)
+            for _ in range(10):
+                server = int(rng.integers(0, instance.num_servers))
+                model = int(rng.integers(0, instance.num_models))
+                tracker.mark_served(server, model)
+                assert tracker.gain(server, model) == 0.0
+
+
+class TestGenEquivalence:
+    @pytest.mark.parametrize("case,storage,seed", SCENARIO_GRID)
+    def test_all_paths_match_seed_naive(self, case, storage, seed):
+        """vectorised ≡ naive ≡ seed naive greedy, placement-for-placement."""
+        instance = grid_instance(case, storage, seed)
+        vectorised = TrimCachingGen(accelerated=True).solve(instance)
+        naive = TrimCachingGen(accelerated=False).solve(instance)
+        seed_naive = ReferenceGen(accelerated=False).solve(instance)
+        assert vectorised.placement == naive.placement
+        assert vectorised.placement == seed_naive.placement
+        assert vectorised.hit_ratio == seed_naive.hit_ratio
+
+    @pytest.mark.parametrize("case,storage,seed", SCENARIO_GRID)
+    def test_matches_seed_lazy(self, case, storage, seed):
+        """The seed's lazy greedy agrees on this grid too. (Its
+        pairwise-sum gains can round mathematically tied pairs apart
+        from its own naive scan's einsum on some larger instances — a
+        seed-internal quirk — so the canonical reference is the naive
+        scan; this grid is one where the seed agrees with itself.)"""
+        instance = grid_instance(case, storage, seed)
+        vectorised = TrimCachingGen(accelerated=True).solve(instance)
+        seed_lazy = ReferenceGen(accelerated=True).solve(instance)
+        assert vectorised.placement == seed_lazy.placement
+
+
+class TestSpecEquivalence:
+    @pytest.mark.parametrize(
+        "storage,seed",
+        [(s, seed) for s in (0.06, 0.12, 0.3) for seed in (0, 1, 2, 3)],
+    )
+    def test_matches_seed_spec(self, storage, seed):
+        instance = grid_instance("special", storage, seed)
+        new = TrimCachingSpec(epsilon=0.1).solve(instance)
+        ref = ReferenceSpec(epsilon=0.1).solve(instance)
+        assert new.placement == ref.placement
+        assert new.stats["per_server_mass"] == ref.stats["per_server_mass"]
+
+
+class TestKnapsackEquivalence:
+    def test_vectorised_value_dp_matches_reference(self):
+        """Identical (value, selection) on 300 random knapsacks, and
+        identical guard errors when the state table would blow up."""
+        rng = np.random.default_rng(7)
+        checked = raised = 0
+        for _ in range(300):
+            n = int(rng.integers(1, 25))
+            values = (rng.random(n) * float(rng.integers(1, 100))).tolist()
+            weights = rng.integers(0, 60, size=n).tolist()
+            capacity = int(rng.integers(0, 300))
+            epsilon = float(rng.choice([0.05, 0.1, 0.3]))
+            try:
+                expected = reference_knapsack_value_dp(
+                    values, weights, capacity, epsilon
+                )
+            except SolverError:
+                with pytest.raises(SolverError):
+                    knapsack_value_dp(values, weights, capacity, epsilon)
+                raised += 1
+                continue
+            assert knapsack_value_dp(values, weights, capacity, epsilon) == expected
+            checked += 1
+        assert checked >= 200

@@ -30,7 +30,9 @@ class TestPublicApi:
         [
             "repro.core",
             "repro.core.placement",
+            "repro.core.blockmask",
             "repro.core.objective",
+            "repro.core.reference",
             "repro.core.spec",
             "repro.core.gen",
             "repro.core.dp",
