@@ -10,21 +10,30 @@ Covered:
 * TrimCaching Gen — seed lazy + seed naive vs vectorised + new naive,
   on an ``M=30, K=200, I=120`` instance (byte-identical placements are
   asserted, not just timed);
-* TrimCaching Spec — seed vs vectorised candidate construction;
+* TrimCaching Spec — seed vs vectorised candidate construction, plus the
+  ``workers=N`` knapsack-batch fan-out (byte-identical placements);
 * both DP backends — the rounded value DP (seed Python loop vs numpy
-  slice-shift) and the weight DP (unchanged; timed for the trajectory).
+  slice-shift) and the weight DP (unchanged; timed for the trajectory);
+* the sparse feasibility artifact — CSR vs dense construction at paper
+  scale (identical indicator asserted);
+* the end-to-end sweep pipeline at paper scale (``M=30, K=500``, ≥8
+  topologies): seed engines on the dense serial path vs the PR-1 dense
+  engines vs the sparse CSR path, serial and ``workers=N`` — all four
+  asserted bit-identical series, wall-clock recorded.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py            # full
     PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_perf.py --strict   # fail <5x
+    PYTHONPATH=src python benchmarks/bench_perf.py --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -34,19 +43,25 @@ import numpy as np
 
 from repro.core.dp import knapsack_value_dp, knapsack_weight_dp
 from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
 from repro.core.reference import (
     ReferenceGen,
+    ReferenceIndependent,
     ReferenceSpec,
     reference_knapsack_value_dp,
 )
 from repro.core.spec import TrimCachingSpec
 from repro.sim.config import ScenarioConfig
+from repro.sim.runner import SweepRunner
 from repro.sim.scenario import build_scenario
 from repro.utils.units import GB
 
 #: The Gen acceptance target: vectorised vs seed lazy on the tight
 #: paper-scale instance.
 GEN_TARGET_SPEEDUP = 5.0
+
+#: The sweep acceptance target: end-to-end, seed path -> sparse path.
+SWEEP_TARGET_SPEEDUP = 2.0
 
 
 def timeit(fn, min_time: float, min_reps: int = 3):
@@ -122,7 +137,7 @@ def gen_benchmarks(quick: bool):
     return results
 
 
-def spec_benchmarks(quick: bool):
+def spec_benchmarks(quick: bool, workers: int):
     """Seed-vs-new Spec timings on a special-case instance."""
     budget = 0.3 if quick else 2.0
     params = dict(
@@ -141,11 +156,20 @@ def spec_benchmarks(quick: bool):
     new_s, new_result = timeit(
         lambda: TrimCachingSpec(epsilon=0.1).solve(instance), budget, min_reps=2
     )
-    identical = new_result.placement == seed_result.placement
+    parallel_s, parallel_result = timeit(
+        lambda: TrimCachingSpec(epsilon=0.1, workers=workers).solve(instance),
+        budget,
+        min_reps=2,
+    )
+    identical = (
+        new_result.placement == seed_result.placement
+        and parallel_result.placement == seed_result.placement
+    )
     assert identical, "Spec placements diverge from the seed"
     print(
         f"{name}: seed {seed_s * 1e3:.2f} ms, new {new_s * 1e3:.2f} ms "
-        f"({seed_s / new_s:.1f}x), identical placements"
+        f"({seed_s / new_s:.1f}x), workers={workers} "
+        f"{parallel_s * 1e3:.2f} ms, identical placements"
     )
     return {
         name: {
@@ -153,6 +177,8 @@ def spec_benchmarks(quick: bool):
             "hit_ratio": round(new_result.hit_ratio, 6),
             "seed_s": seed_s,
             "new_s": new_s,
+            "new_parallel_s": parallel_s,
+            "parallel_workers": workers,
             "speedup": seed_s / new_s,
             "placements_identical": identical,
         }
@@ -213,6 +239,131 @@ def dp_benchmarks(quick: bool):
     }
 
 
+def sparse_benchmarks(quick: bool):
+    """CSR vs dense feasibility construction (identical indicator)."""
+    params = dict(
+        num_servers=8 if quick else 30,
+        num_users=60 if quick else 500,
+        num_models=30 if quick else 300,
+        requests_per_user=12 if quick else 30,
+        deadline_range_s=(1.0, 2.0),
+        library_case="special",
+    )
+    budget = 0.3 if quick else 1.5
+    scenario = build_scenario(
+        ScenarioConfig(**params), seed=7, feasibility="dense"
+    )
+    dense_s, dense = timeit(lambda: scenario.latency_model.feasibility(), budget)
+    sparse_s, sparse = timeit(
+        lambda: scenario.latency_model.feasibility_sparse(), budget
+    )
+    identical = bool((sparse.to_dense() == dense).all())
+    assert identical, "sparse feasibility diverges from dense"
+    print(
+        f"feasibility (M={params['num_servers']}, K={params['num_users']}, "
+        f"I={params['num_models']}): dense {dense_s * 1e3:.2f} ms, "
+        f"CSR {sparse_s * 1e3:.2f} ms ({dense_s / sparse_s:.1f}x), "
+        f"density {sparse.density:.2%}, identical indicator"
+    )
+    return {
+        "feasibility_build": {
+            "instance": {**params, "seed": 7},
+            "nnz": sparse.nnz,
+            "density": sparse.density,
+            "dense_s": dense_s,
+            "sparse_s": sparse_s,
+            "speedup": dense_s / sparse_s,
+            "indicator_identical": identical,
+        }
+    }
+
+
+def sweep_benchmarks(quick: bool, workers: int):
+    """End-to-end paper-scale sweep: seed path vs dense vs sparse vs parallel.
+
+    One wall-clock measurement per pipeline configuration (a sweep is a
+    long-running batch; repetition noise is small against its length).
+    All four configurations must produce bit-identical hit-ratio series.
+    """
+    params = dict(
+        num_servers=8 if quick else 30,
+        num_users=60 if quick else 500,
+        num_models=30 if quick else 300,
+        requests_per_user=12 if quick else 30,
+        deadline_range_s=(1.0, 2.0),
+        library_case="special",
+    )
+    num_topologies = 2 if quick else 8
+    points = [0.15, 0.3] if quick else [0.15, 0.3, 0.6]
+    base = ScenarioConfig(**params)
+
+    def run(algorithms, feasibility, sweep_workers):
+        runner = SweepRunner(
+            base,
+            algorithms,
+            num_topologies=num_topologies,
+            seed=7,
+            feasibility=feasibility,
+            workers=sweep_workers,
+        )
+        start = time.perf_counter()
+        result = runner.run(
+            "bench sweep",
+            "Q (GB)",
+            points,
+            lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+        )
+        return time.perf_counter() - start, result
+
+    seed_algos = {
+        "Gen": ReferenceGen(accelerated=True),
+        "Independent": ReferenceIndependent(),
+    }
+    dense_algos = {"Gen": TrimCachingGen(), "Independent": IndependentCaching()}
+    sparse_algos = {
+        "Gen": TrimCachingGen(engine="sparse"),
+        "Independent": IndependentCaching(engine="sparse"),
+    }
+    seed_s, seed_result = run(seed_algos, "dense", 1)
+    dense_s, dense_result = run(dense_algos, "dense", 1)
+    sparse_s, sparse_result = run(sparse_algos, "sparse", 1)
+    parallel_s, parallel_result = run(sparse_algos, "sparse", workers)
+    identical = all(
+        (seed_result.series[a].means == other.series[a].means).all()
+        and (seed_result.series[a].stds == other.series[a].stds).all()
+        for a in seed_result.series
+        for other in (dense_result, sparse_result, parallel_result)
+    )
+    assert identical, "sweep series diverge across pipeline configurations"
+    best_new_s = min(sparse_s, parallel_s)
+    print(
+        f"sweep (M={params['num_servers']}, K={params['num_users']}, "
+        f"I={params['num_models']}, {num_topologies} topologies x "
+        f"{len(points)} points): seed-dense-serial {seed_s:.2f} s, "
+        f"dense-serial {dense_s:.2f} s, sparse-serial {sparse_s:.2f} s, "
+        f"sparse-parallel(w={workers}) {parallel_s:.2f} s — "
+        f"sparse vs dense {dense_s / sparse_s:.2f}x, "
+        f"end-to-end {seed_s / best_new_s:.2f}x, identical series"
+    )
+    return {
+        "paper_sweep": {
+            "instance": {**params, "seed": 7},
+            "num_topologies": num_topologies,
+            "sweep_points_gb": points,
+            "cpu_count": os.cpu_count(),
+            "parallel_workers": workers,
+            "seed_dense_serial_s": seed_s,
+            "dense_serial_s": dense_s,
+            "sparse_serial_s": sparse_s,
+            "sparse_parallel_s": parallel_s,
+            "speedup_sparse_vs_dense": dense_s / sparse_s,
+            "speedup_parallel_vs_serial": sparse_s / parallel_s,
+            "speedup_end_to_end": seed_s / best_new_s,
+            "series_identical": identical,
+        }
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -222,6 +373,12 @@ def main(argv=None) -> int:
         "--strict",
         action="store_true",
         help=f"exit non-zero if Gen speedup < {GEN_TARGET_SPEEDUP}x",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker count for the parallel sweep / Spec entries",
     )
     parser.add_argument(
         "--output",
@@ -237,24 +394,36 @@ def main(argv=None) -> int:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
             "gen_target_speedup": GEN_TARGET_SPEEDUP,
+            "sweep_target_speedup": SWEEP_TARGET_SPEEDUP,
         },
         "gen": gen_benchmarks(args.quick),
-        "spec": spec_benchmarks(args.quick),
+        "spec": spec_benchmarks(args.quick, args.workers),
         "dp": dp_benchmarks(args.quick),
+        "sparse": sparse_benchmarks(args.quick),
+        "sweep": sweep_benchmarks(args.quick, args.workers),
     }
 
     gen_key = "gen_quick" if args.quick else "gen_paper_tight"
     speedup = results["gen"][gen_key]["speedup_vs_seed_lazy"]
     target_met = speedup >= GEN_TARGET_SPEEDUP
     results["meta"]["gen_target_met"] = bool(target_met)
+    sweep_speedup = results["sweep"]["paper_sweep"]["speedup_end_to_end"]
+    sweep_met = sweep_speedup >= SWEEP_TARGET_SPEEDUP
+    results["meta"]["sweep_target_met"] = bool(sweep_met)
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
     print(
         f"Gen acceptance ({gen_key}): {speedup:.1f}x vs seed lazy — "
         f"target {GEN_TARGET_SPEEDUP}x {'MET' if target_met else 'NOT MET'}"
     )
-    if args.strict and not target_met and not args.quick:
+    print(
+        f"Sweep acceptance: {sweep_speedup:.1f}x end-to-end (seed path -> "
+        f"sparse path) — target {SWEEP_TARGET_SPEEDUP}x "
+        f"{'MET' if sweep_met else 'NOT MET'}"
+    )
+    if args.strict and not args.quick and not (target_met and sweep_met):
         return 1
     return 0
 

@@ -25,6 +25,7 @@ def _sweep_command(fn: Callable) -> Callable[[argparse.Namespace], str]:
             num_topologies=args.topologies,
             evaluation=args.evaluation,
             seed=args.seed,
+            workers=args.workers,
         )
         if args.scale is not None:
             kwargs["scale"] = args.scale
@@ -109,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=float,
             default=None,
             help="library/storage scale (1.0 = the paper's full setting)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool width for the topology fan-out "
+            "(bit-identical series for any value)",
         )
         p.add_argument(
             "--chart", action="store_true", help="also render an ASCII chart"

@@ -29,11 +29,13 @@ from repro.core.objective import (
     storage_used,
 )
 from repro.core.placement import Placement, PlacementInstance
+from repro.core.sparse import SparseFeasibility
 from repro.core.spec import TrimCachingSpec
 
 __all__ = [
     "PlacementInstance",
     "Placement",
+    "SparseFeasibility",
     "hit_ratio",
     "storage_used",
     "placement_is_feasible",

@@ -150,6 +150,22 @@ class ServerBlockCache:
         self.used = np.zeros(num_servers, dtype=np.int64)
         self.extras = np.tile(index.model_sizes, (num_servers, 1))
 
+    @classmethod
+    def from_placement(
+        cls, index: BlockMaskIndex, placement_matrix: np.ndarray
+    ) -> "ServerBlockCache":
+        """A cache pre-loaded with an existing ``(M, I)`` placement.
+
+        Replays every placed model through :meth:`add`; the resulting
+        masks, usage and marginal tables are exactly what incremental
+        construction would have produced (set union and integer sums are
+        order-independent).
+        """
+        cache = cls(index, int(placement_matrix.shape[0]))
+        for server, model_index in zip(*np.nonzero(placement_matrix)):
+            cache.add(int(server), int(model_index))
+        return cache
+
     def marginal(self, server: int, model_index: int) -> int:
         """Marginal bytes of one (server, model) pair — O(1) lookup."""
         return int(self.extras[server, model_index])

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
@@ -97,12 +98,28 @@ def _chains_are_nested(chain: Sequence[FrozenSet[int]]) -> bool:
     return True
 
 
+#: Per-library memo of enumerated combination sets. Libraries are
+#: logically immutable and compared by identity, so weak keying is exact;
+#: entries vanish with their library. A sweep that shares one library
+#: across topologies (the paper fixes the library) enumerates ``A`` once
+#: instead of once per solve.
+_COMBINATION_CACHE: "weakref.WeakKeyDictionary[ModelLibrary, Dict[Tuple[str, int], List[SharedCombination]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def enumerate_shared_combinations(
     library: ModelLibrary,
     mode: str = "auto",
     max_combinations: int = 1_000_000,
+    cache: bool = True,
 ) -> List[SharedCombination]:
     """Build the combination set ``A`` for Algorithm 2.
+
+    With ``cache=True`` (default) the result is memoised per library
+    object (treat it as immutable — every built-in path does); pass
+    ``cache=False`` to force a fresh enumeration, e.g. for benchmarking
+    the pre-cache pipeline.
 
     Modes
     -----
@@ -127,6 +144,16 @@ def enumerate_shared_combinations(
     """
     if mode not in ("auto", "prefix", "exhaustive"):
         raise SolverError(f"unknown combination mode {mode!r}")
+    if cache:
+        per_library = _COMBINATION_CACHE.setdefault(library, {})
+        key = (mode, max_combinations)
+        cached = per_library.get(key)
+        if cached is None:
+            cached = enumerate_shared_combinations(
+                library, mode, max_combinations, cache=False
+            )
+            per_library[key] = cached
+        return cached
     shared = sorted(library.shared_block_ids)
     if not shared:
         return [SharedCombination(frozenset(), 0)]

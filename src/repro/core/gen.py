@@ -29,7 +29,7 @@ placements against them.
 from __future__ import annotations
 
 import time
-from typing import List, Set, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -37,9 +37,18 @@ from repro.core.blockmask import ServerBlockCache
 from repro.core.objective import CoverageTracker
 from repro.core.placement import Placement, PlacementInstance
 from repro.core.result import SolverResult
+from repro.errors import ConfigurationError
 
 # Gains are sums of non-negative products (demand x indicator), so a true
 # zero gain is exactly 0.0 and strict comparisons need no epsilon floor.
+
+
+def _check_engine(engine: str) -> None:
+    """Fail at construction, not mid-solve inside a worker."""
+    if engine not in ("dense", "sparse", "auto"):
+        raise ConfigurationError(
+            f"engine must be dense|sparse|auto, got {engine!r}"
+        )
 
 
 class TrimCachingGen:
@@ -58,9 +67,18 @@ class TrimCachingGen:
 
     name = "TrimCaching Gen"
 
-    def __init__(self, accelerated: bool = True, fill_zero_gain: bool = False) -> None:
+    def __init__(
+        self,
+        accelerated: bool = True,
+        fill_zero_gain: bool = False,
+        engine: str = "dense",
+    ) -> None:
+        _check_engine(engine)
         self.accelerated = accelerated
         self.fill_zero_gain = fill_zero_gain
+        #: Coverage engine: ``"dense"`` (bit-pinned to the seed),
+        #: ``"sparse"`` (O(nnz) CSR walks) or ``"auto"``.
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def solve(self, instance: PlacementInstance) -> SolverResult:
@@ -94,7 +112,7 @@ class TrimCachingGen:
         self, instance: PlacementInstance
     ) -> Tuple[Placement, int, CoverageTracker]:
         placement = instance.new_placement()
-        tracker = CoverageTracker(instance)
+        tracker = CoverageTracker(instance, engine=self.engine)
         cache = ServerBlockCache(instance.block_index, instance.num_servers)
         steps = 0
         while True:
@@ -135,7 +153,7 @@ class TrimCachingGen:
         self, instance: PlacementInstance
     ) -> Tuple[Placement, int, CoverageTracker]:
         placement = instance.new_placement()
-        tracker = CoverageTracker(instance)
+        tracker = CoverageTracker(instance, engine=self.engine)
         cache = ServerBlockCache(instance.block_index, instance.num_servers)
         gains = tracker.gain_matrix_view()
         extras = cache.extras
@@ -175,22 +193,21 @@ class TrimCachingGen:
     def _fill_remaining(
         self, instance: PlacementInstance, placement: Placement
     ) -> None:
-        """Literal stopping rule: keep caching (zero-gain) models while any fits."""
-        cached_blocks: List[Set[int]] = []
-        used = []
+        """Literal stopping rule: keep caching (zero-gain) models while any fits.
+
+        Runs on :class:`ServerBlockCache` marginal tables instead of the
+        former Python-set walk; all arithmetic is exact integers, so the
+        filled placements are identical to the set-based version.
+        """
+        cache = ServerBlockCache.from_placement(
+            instance.block_index, placement.matrix
+        )
         for server in range(instance.num_servers):
-            blocks: Set[int] = set()
-            for model_index in placement.models_on(server):
-                blocks |= instance.model_blocks[model_index]
-            cached_blocks.append(blocks)
-            used.append(instance.dedup_storage(placement.models_on(server)))
-        for server in range(instance.num_servers):
-            remaining = int(instance.capacities[server] - used[server])
+            remaining = int(instance.capacities[server] - cache.used[server])
+            extras = cache.marginal_row(server)  # updated in place by add()
             for model_index in range(instance.num_models):
                 if placement.contains(server, model_index):
                     continue
-                extra = instance.marginal_storage(model_index, cached_blocks[server])
-                if extra <= remaining:
+                if extras[model_index] <= remaining:
                     placement.add(server, model_index)
-                    cached_blocks[server] |= instance.model_blocks[model_index]
-                    remaining -= extra
+                    remaining -= cache.add(server, model_index)

@@ -2,7 +2,18 @@
 
 Also provides :class:`CoverageTracker`, the incremental-evaluation engine
 shared by the greedy solvers: it maintains which (user, model) requests are
-already served and answers marginal-gain queries in vectorised form.
+already served and answers marginal-gain queries in vectorised form. The
+tracker has two engines over the same state:
+
+* ``"dense"`` (default) — column refreshes run the einsum kernel on
+  column views, bit-identical to the frozen seed's from-scratch
+  recompute (:mod:`repro.core.reference`);
+* ``"sparse"`` — column refreshes walk only the CSR nonzeros, ``O(nnz)``
+  instead of ``O(M·K)``.
+
+:func:`served_matrix` picks the O(nnz) walk automatically whenever the
+instance carries the CSR artifact — boolean output, so the sparse walk is
+*exactly* the dense einsum's result, not merely close.
 """
 
 from __future__ import annotations
@@ -32,13 +43,20 @@ def served_matrix(
 
     ``feasible`` overrides the instance's ``I1`` tensor (used when
     evaluating a placement under faded rates instead of expected rates).
+    Without an override, a sparse-primary instance is walked in O(nnz)
+    via its CSR artifact; the result is exactly the dense einsum's.
     """
     _check_shapes(instance, placement)
-    feas = instance.feasible if feasible is None else feasible
-    if feas.shape != instance.feasible.shape:
-        raise PlacementError(
-            f"feasibility tensor must have shape {instance.feasible.shape}"
-        )
+    if feasible is None:
+        if instance.has_sparse or instance.is_sparse_primary:
+            return instance.sparse_feasible.served_matrix(placement.matrix)
+        feas = instance.feasible
+    else:
+        feas = feasible
+        if feas.shape != instance.feasible_shape:
+            raise PlacementError(
+                f"feasibility tensor must have shape {instance.feasible_shape}"
+            )
     # served[k, i] = OR_m (x[m, i] AND I1[m, k, i])
     return np.einsum("mki,mi->ki", feas, placement.matrix) > 0
 
@@ -103,26 +121,65 @@ class CoverageTracker:
     The ``(M, I)`` gain matrix is *maintained* rather than recomputed:
     caching (m, i) only changes column ``i`` (the users it newly serves
     stop counting toward every server that could reach them), so
-    :meth:`mark_served` refreshes that one column in ``O(M·K)`` instead
-    of the full ``O(M·K·I)`` einsum. The refresh runs the same einsum
-    kernel on column *views* of the same arrays the full recompute would
-    use (identical dtypes and stride patterns, hence identical
-    accumulation order), which keeps the maintained matrix bit-identical
-    to the seed's from-scratch recompute — greedy tie-breaking is
-    unaffected. Enforced by the equivalence tests against
-    :mod:`repro.core.reference`, which assert exact equality.
+    :meth:`mark_served` refreshes that one column instead of running the
+    full ``O(M·K·I)`` einsum. Two refresh engines are available:
+
+    ``engine="dense"`` (default)
+        ``O(M·K)`` per refresh; runs the same einsum kernel on column
+        *views* of the same arrays the full recompute would use
+        (identical dtypes and stride patterns, hence identical
+        accumulation order), which keeps the maintained matrix
+        bit-identical to the seed's from-scratch recompute — greedy
+        tie-breaking is unaffected. Enforced by the equivalence tests
+        against :mod:`repro.core.reference`, which assert exact equality.
+
+    ``engine="sparse"``
+        ``O(nnz of the column)`` per refresh via the instance's CSR
+        artifact (a bincount over the column's feasible entries). The
+        ``served``/``unserved_demand`` state stays *exactly* equal to the
+        dense engine's (boolean updates and exact zeroing only), but the
+        gain sums reduce fewer terms than the einsum and may differ from
+        it in final ulps — so greedy placements are pinned to the seed at
+        the placement level (empirically identical on the equivalence
+        grids) rather than bit-by-bit through the gains.
+
+    ``engine="auto"`` picks ``"sparse"`` for sparse-primary instances and
+    ``"dense"`` otherwise.
     """
 
-    def __init__(self, instance: PlacementInstance) -> None:
+    def __init__(self, instance: PlacementInstance, engine: str = "dense") -> None:
+        if engine == "auto":
+            engine = "sparse" if instance.is_sparse_primary else "dense"
+        if engine not in ("dense", "sparse"):
+            raise PlacementError(
+                f"engine must be dense|sparse|auto, got {engine!r}"
+            )
         self.instance = instance
+        self.engine = engine
         self.served = np.zeros(
             (instance.num_users, instance.num_models), dtype=bool
         )
         #: ``(K, I)`` demand mass not yet served, maintained per column.
         self._weighted = instance.demand * ~self.served
-        self._gains = np.einsum(
-            "mki,ki->mi", instance.feasible, self._weighted
-        )
+        if engine == "sparse":
+            sparse = instance.sparse_feasible
+            self._sparse = sparse
+            num_servers = instance.num_servers
+            self._gains = np.zeros(
+                (num_servers, instance.num_models), dtype=float
+            )
+            for model_index in range(instance.num_models):
+                servers, users = sparse.column_entries(model_index)
+                self._gains[:, model_index] = np.bincount(
+                    servers,
+                    weights=self._weighted[users, model_index],
+                    minlength=num_servers,
+                )
+        else:
+            self._sparse = None
+            self._gains = np.einsum(
+                "mki,ki->mi", instance.feasible, self._weighted
+            )
 
     def unserved_demand(self) -> np.ndarray:
         """``(K, I)`` demand mass not yet served."""
@@ -148,6 +205,9 @@ class CoverageTracker:
 
     def mark_served(self, server: int, model_index: int) -> None:
         """Record that (server, model) is now cached."""
+        if self._sparse is not None:
+            self._mark_served_sparse(server, model_index)
+            return
         feas = self.instance.feasible[server, :, model_index]
         served_col = self.served[:, model_index]
         newly = feas > served_col  # feasible and not yet served
@@ -163,6 +223,24 @@ class CoverageTracker:
             "mk,k->m",
             self.instance.feasible[:, :, model_index],
             self._weighted[:, model_index],
+        )
+
+    def _mark_served_sparse(self, server: int, model_index: int) -> None:
+        """O(column nnz) refresh over the CSR artifact."""
+        sparse = self._sparse
+        pair_users = sparse.pair_users(server, model_index)
+        served_col = self.served[:, model_index]
+        if pair_users.size == 0 or served_col[pair_users].all():
+            return
+        served_col[pair_users] = True
+        # Same exact zeroing as the dense engine: newly served users'
+        # remaining mass becomes exactly 0.0.
+        self._weighted[pair_users, model_index] = 0.0
+        servers, users = sparse.column_entries(model_index)
+        self._gains[:, model_index] = np.bincount(
+            servers,
+            weights=self._weighted[users, model_index],
+            minlength=self.instance.num_servers,
         )
 
     def mark_server_models(self, server: int, model_indices: Iterable[int]) -> None:

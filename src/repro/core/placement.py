@@ -6,19 +6,50 @@ and the model library. Solvers work in *dense model indices* ``0..I-1``
 (column positions), which the instance maps to library model ids — library
 ids need not be contiguous (e.g. after :meth:`ModelLibrary.subset`).
 
+Feasibility may be supplied either as the dense ``(M, K, I)`` boolean
+tensor or as a :class:`~repro.core.sparse.SparseFeasibility` CSR artifact
+(what :func:`~repro.sim.scenario.build_scenario` now produces). Whichever
+form arrives is the primary representation; the other is derived lazily
+and cached, so dense-only consumers (the frozen seed reference solvers,
+Monte-Carlo evaluation under faded rates) and O(nnz) sparse consumers
+(the sparse coverage engine, ``served_matrix`` walks) share one instance.
+The two representations encode bit-identical indicator tensors.
+
 :class:`Placement` is the decision ``X``: a boolean ``(M, I)`` matrix with
 set-style helpers. It is cheap to copy and hashable once frozen.
 """
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+import weakref
 
 import numpy as np
 
 from repro.core.blockmask import BlockMaskIndex
+from repro.core.sparse import SparseFeasibility
 from repro.errors import PlacementError
 from repro.models.library import ModelLibrary
+
+#: Per-library memo of the block bitmask index. The index is pure library
+#: structure (model -> block membership, block sizes), libraries are
+#: logically immutable, and every instance of one library (each sweep
+#: topology) needs the identical index — so build it once, weakly keyed.
+_BLOCK_INDEX_CACHE: "weakref.WeakKeyDictionary[ModelLibrary, BlockMaskIndex]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 class PlacementInstance:
@@ -32,8 +63,9 @@ class PlacementInstance:
         ``(K, I)`` request probabilities ``p_{k,i}``; column ``i``
         corresponds to ``library.model_ids[i]``.
     feasible:
-        ``(M, K, I)`` boolean ``I1[m,k,i]`` — can server ``m`` serve the
-        (k, i) request within its deadline?
+        ``I1[m,k,i]`` — can server ``m`` serve the (k, i) request within
+        its deadline? Either the dense ``(M, K, I)`` boolean tensor or a
+        :class:`~repro.core.sparse.SparseFeasibility`.
     capacities:
         ``(M,)`` storage capacities ``Q_m`` in bytes.
     """
@@ -42,22 +74,31 @@ class PlacementInstance:
         self,
         library: ModelLibrary,
         demand: np.ndarray,
-        feasible: np.ndarray,
+        feasible: Union[np.ndarray, SparseFeasibility],
         capacities: Sequence[int],
     ) -> None:
         demand = np.asarray(demand, dtype=float)
-        feasible = np.asarray(feasible, dtype=bool)
+        self._sparse_primary = isinstance(feasible, SparseFeasibility)
+        if isinstance(feasible, SparseFeasibility):
+            self._feasible_sparse: Optional[SparseFeasibility] = feasible
+            self._feasible_dense: Optional[np.ndarray] = None
+            feasible_shape = feasible.shape
+        else:
+            feasible = np.asarray(feasible, dtype=bool)
+            if feasible.ndim != 3:
+                raise PlacementError("feasible must be a (M, K, I) tensor")
+            self._feasible_sparse = None
+            self._feasible_dense = feasible
+            feasible_shape = feasible.shape
         capacities_arr = np.asarray(capacities, dtype=np.int64)
 
         if demand.ndim != 2:
             raise PlacementError("demand must be a (K, I) matrix")
-        if feasible.ndim != 3:
-            raise PlacementError("feasible must be a (M, K, I) tensor")
         num_users, num_models = demand.shape
-        num_servers = feasible.shape[0]
-        if feasible.shape != (num_servers, num_users, num_models):
+        num_servers = feasible_shape[0]
+        if feasible_shape != (num_servers, num_users, num_models):
             raise PlacementError(
-                f"feasible shape {feasible.shape} does not match demand {demand.shape}"
+                f"feasible shape {feasible_shape} does not match demand {demand.shape}"
             )
         if capacities_arr.ndim != 1 or capacities_arr.shape[0] != num_servers:
             raise PlacementError("capacities must have one entry per server")
@@ -75,7 +116,12 @@ class PlacementInstance:
 
         self.library = library
         self.demand = demand
-        self.feasible = feasible
+        #: ``(M, K, I)`` shape of the feasibility indicator.
+        self.feasible_shape: Tuple[int, int, int] = (
+            num_servers,
+            num_users,
+            num_models,
+        )
         self.capacities = capacities_arr
         self.total_demand = float(total)
         #: dense index -> library model id (ascending id order).
@@ -102,7 +148,7 @@ class PlacementInstance:
     @property
     def num_servers(self) -> int:
         """``M``."""
-        return int(self.feasible.shape[0])
+        return self.feasible_shape[0]
 
     @property
     def num_users(self) -> int:
@@ -113,6 +159,49 @@ class PlacementInstance:
     def num_models(self) -> int:
         """``I``."""
         return int(self.demand.shape[1])
+
+    # ------------------------------------------------------------------
+    @property
+    def feasible(self) -> np.ndarray:
+        """The dense ``(M, K, I)`` indicator (derived lazily, cached).
+
+        When the instance was built sparse-primary, the first access
+        scatters the CSR back to the identical dense tensor — existing
+        dense consumers keep working unchanged.
+        """
+        if self._feasible_dense is None:
+            assert self._feasible_sparse is not None
+            self._feasible_dense = self._feasible_sparse.to_dense()
+        return self._feasible_dense
+
+    @property
+    def sparse_feasible(self) -> SparseFeasibility:
+        """The CSR feasibility artifact (derived lazily, cached)."""
+        if self._feasible_sparse is None:
+            assert self._feasible_dense is not None
+            self._feasible_sparse = SparseFeasibility.from_dense(
+                self._feasible_dense
+            )
+        return self._feasible_sparse
+
+    @property
+    def is_sparse_primary(self) -> bool:
+        """Was this instance built from a CSR artifact?
+
+        ``engine="auto"`` consumers use this to pick the O(nnz) walks
+        without forcing densification.
+        """
+        return self._sparse_primary
+
+    @property
+    def has_sparse(self) -> bool:
+        """Is the CSR representation already materialised?"""
+        return self._feasible_sparse is not None
+
+    @property
+    def feasibility_density(self) -> float:
+        """``nnz / (M·K·I)`` of the indicator."""
+        return self.sparse_feasible.density
 
     def index_of(self, model_id: int) -> int:
         """Dense index of a library model id."""
@@ -148,10 +237,16 @@ class PlacementInstance:
 
         Backs the vectorised storage accounting used by the solver
         engines; :meth:`marginal_storage`/:meth:`dedup_storage` above are
-        the equivalent set-based reference paths.
+        the equivalent set-based reference paths. The index depends only
+        on the library, so it is memoised per library object — instances
+        sharing a library (every topology of a sweep point) share it.
         """
         if self._block_index is None:
-            self._block_index = BlockMaskIndex(self.model_blocks, self.block_sizes)
+            cached = _BLOCK_INDEX_CACHE.get(self.library)
+            if cached is None:
+                cached = BlockMaskIndex(self.model_blocks, self.block_sizes)
+                _BLOCK_INDEX_CACHE[self.library] = cached
+            self._block_index = cached
         return self._block_index
 
     def new_placement(self) -> "Placement":

@@ -195,6 +195,49 @@ class ReferenceGen:
         tracker.mark_served(server, model_index)
 
 
+class ReferenceIndependent:
+    """The seed Independent Caching: per-step gain-matrix copy + rescan.
+
+    Verbatim the pre-port greedy loop (full-size knapsack storage, masked
+    copy of the gain matrix each step), driven by
+    :class:`ReferenceCoverageTracker` — whose recomputed gains are pinned
+    bit-identical to the maintained tracker the seed used, so the
+    placements are the seed's exactly.
+    """
+
+    name = "Independent Caching (reference)"
+
+    def solve(self, instance: PlacementInstance) -> SolverResult:
+        start = time.perf_counter()
+        placement = instance.new_placement()
+        tracker = ReferenceCoverageTracker(instance)
+        remaining = instance.capacities.astype(np.int64).copy()
+        steps = 0
+        while True:
+            gains = tracker.gain_matrix()
+            gains[placement.matrix] = -1.0
+            # A model fits iff its full size fits the remaining capacity.
+            fits = instance.model_sizes[None, :] <= remaining[:, None]
+            gains[~fits] = -1.0
+            flat = int(np.argmax(gains))
+            server, model_index = divmod(flat, instance.num_models)
+            if gains[server, model_index] <= 0.0:
+                break
+            placement.add(server, model_index)
+            remaining[server] -= int(instance.model_sizes[model_index])
+            tracker.mark_served(server, model_index)
+            steps += 1
+        from repro.core.objective import hit_ratio
+
+        return SolverResult(
+            placement=placement,
+            hit_ratio=hit_ratio(instance, placement),
+            runtime_s=time.perf_counter() - start,
+            solver=self.name,
+            stats={"greedy_steps": steps},
+        )
+
+
 def reference_knapsack_value_dp(
     values: Sequence[float],
     weights: Sequence[int],
@@ -358,7 +401,12 @@ class ReferenceSpec:
                 "(additive DP weights); this library violates that"
             )
         combos = enumerate_shared_combinations(
-            instance.library, self.combinations, self.max_combinations
+            instance.library,
+            self.combinations,
+            self.max_combinations,
+            # The frozen baseline must keep paying the seed's per-solve
+            # enumeration cost — never the new per-library memo.
+            cache=False,
         )
         placement = instance.new_placement()
         tracker = ReferenceCoverageTracker(instance)

@@ -1,0 +1,243 @@
+"""Sparse CSR representation of the feasibility indicator ``I1``.
+
+At paper scale the (server, user, model) feasibility tensor is well under
+15% dense — tight deadlines and shared access bandwidth leave most
+requests unreachable — yet the seed pipeline materialised the full
+``(M, K, I)`` tensor (and, worse, the float latency tensor behind it) for
+every topology of every sweep point. :class:`SparseFeasibility` is the
+shared sparse artifact: one immutable CSR bundle built once per scenario
+and consumed by every layer (placement instance, coverage tracking,
+objective evaluation, benchmarks).
+
+Layout
+------
+The nonzeros are stored as one flat COO/CSR hybrid sorted by
+``(model, server, user)`` — "column major" from the solvers' point of
+view, because every hot operation touches one model column at a time:
+
+* ``pair_indptr`` — ``(I * M + 1,)`` int64; the entries of pair
+  ``(m, i)`` live at ``entries[pair_indptr[i * M + m] :
+  pair_indptr[i * M + m + 1]]``;
+* ``entry_users`` — ``(nnz,)`` int32 user index of every entry;
+* ``entry_servers`` — ``(nnz,)`` int32 server index of every entry
+  (the expansion of ``pair_indptr``, precomputed for bincount reduces).
+
+A per-user view (``user_indptr`` / ``user_servers`` / ``user_models``,
+sorted by ``(user, model, server)``) is derived lazily for consumers that
+iterate requests instead of placements.
+
+Exactness
+---------
+All boolean/integer queries (``to_dense``, ``served_matrix`` walks,
+coverage counts) are *exactly* equal to their dense counterparts — there
+is no floating-point accumulation in this module. Float reductions over
+the sparse structure (the sparse :class:`~repro.core.objective.
+CoverageTracker` engine) sum fewer terms than the dense einsum and may
+therefore differ from it in final ulps; that trade-off is documented and
+tested where it is made, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+
+
+class SparseFeasibility:
+    """Immutable CSR bundle over the ``I1[m, k, i]`` nonzeros.
+
+    Build via :meth:`from_dense` or from a prepared COO triple via
+    :meth:`from_coo` (the latency layer does the latter without ever
+    materialising the dense tensor).
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int, int],
+        pair_indptr: np.ndarray,
+        entry_users: np.ndarray,
+        entry_servers: np.ndarray,
+    ) -> None:
+        num_servers, num_users, num_models = (int(x) for x in shape)
+        if num_servers < 0 or num_users < 0 or num_models < 0:
+            raise PlacementError("feasibility shape must be non-negative")
+        self.shape: Tuple[int, int, int] = (num_servers, num_users, num_models)
+        #: ``(I*M + 1,)`` segment bounds; pair (m, i) is row ``i*M + m``.
+        self.pair_indptr = pair_indptr
+        #: ``(nnz,)`` user of every entry, (model, server, user)-sorted.
+        self.entry_users = entry_users
+        #: ``(nnz,)`` server of every entry (aligned with ``entry_users``).
+        self.entry_servers = entry_servers
+        self._user_view: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._coverage_counts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, feasible: np.ndarray) -> "SparseFeasibility":
+        """Compress a dense ``(M, K, I)`` boolean tensor (exact)."""
+        feasible = np.asarray(feasible, dtype=bool)
+        if feasible.ndim != 3:
+            raise PlacementError("feasible must be a (M, K, I) tensor")
+        num_servers, num_users, num_models = feasible.shape
+        # nonzero on the (I, M, K) view yields entries already sorted by
+        # (model, server, user) — the canonical layout.
+        models, servers, users = np.nonzero(feasible.transpose(2, 0, 1))
+        return cls.from_coo(
+            feasible.shape, models=models, servers=servers, users=users
+        )
+
+    @classmethod
+    def from_coo(
+        cls,
+        shape: Tuple[int, int, int],
+        models: np.ndarray,
+        servers: np.ndarray,
+        users: np.ndarray,
+    ) -> "SparseFeasibility":
+        """Build from COO index arrays sorted by ``(model, server, user)``."""
+        num_servers, num_users, num_models = (int(x) for x in shape)
+        pair_codes = np.asarray(models, dtype=np.int64) * num_servers + np.asarray(
+            servers, dtype=np.int64
+        )
+        counts = np.bincount(pair_codes, minlength=num_models * num_servers)
+        pair_indptr = np.zeros(num_models * num_servers + 1, dtype=np.int64)
+        np.cumsum(counts, out=pair_indptr[1:])
+        return cls(
+            (num_servers, num_users, num_models),
+            pair_indptr=pair_indptr,
+            entry_users=np.asarray(users, dtype=np.int32),
+            entry_servers=np.asarray(servers, dtype=np.int32),
+        )
+
+    # ------------------------------------------------------------------
+    # Shape and density
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        """``M``."""
+        return self.shape[0]
+
+    @property
+    def num_users(self) -> int:
+        """``K``."""
+        return self.shape[1]
+
+    @property
+    def num_models(self) -> int:
+        """``I``."""
+        return self.shape[2]
+
+    @property
+    def nnz(self) -> int:
+        """Number of feasible ``(m, k, i)`` triples."""
+        return int(self.entry_users.shape[0])
+
+    @property
+    def density(self) -> float:
+        """``nnz / (M·K·I)`` (0.0 for an empty tensor)."""
+        total = self.shape[0] * self.shape[1] * self.shape[2]
+        return self.nnz / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def pair_users(self, server: int, model_index: int) -> np.ndarray:
+        """Users feasibly served by ``(server, model)`` (a sorted view)."""
+        row = model_index * self.shape[0] + server
+        return self.entry_users[self.pair_indptr[row] : self.pair_indptr[row + 1]]
+
+    def column_entries(self, model_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(servers, users)`` of every nonzero in one model column."""
+        num_servers = self.shape[0]
+        start = self.pair_indptr[model_index * num_servers]
+        stop = self.pair_indptr[(model_index + 1) * num_servers]
+        return self.entry_servers[start:stop], self.entry_users[start:stop]
+
+    def to_dense(self) -> np.ndarray:
+        """Scatter back to the dense ``(M, K, I)`` boolean tensor (exact)."""
+        num_servers, num_users, num_models = self.shape
+        dense = np.zeros((num_models, num_servers, num_users), dtype=bool)
+        models = np.repeat(
+            np.arange(num_models * num_servers, dtype=np.int64) // num_servers,
+            np.diff(self.pair_indptr),
+        )
+        dense[models, self.entry_servers, self.entry_users] = True
+        return np.ascontiguousarray(dense.transpose(1, 2, 0))
+
+    def user_view(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-user CSR: ``(user_indptr, user_models, user_servers)``.
+
+        Entries are sorted by ``(user, model, server)``;
+        user ``k``'s feasible (model, server) pairs live at positions
+        ``user_indptr[k] : user_indptr[k + 1]``. Built lazily and cached.
+        """
+        if self._user_view is None:
+            num_servers, num_users, num_models = self.shape
+            models = np.repeat(
+                np.arange(num_models * num_servers, dtype=np.int64) // num_servers,
+                np.diff(self.pair_indptr),
+            )
+            order = np.lexsort(
+                (self.entry_servers, models, self.entry_users)
+            )
+            counts = np.bincount(self.entry_users, minlength=num_users)
+            user_indptr = np.zeros(num_users + 1, dtype=np.int64)
+            np.cumsum(counts, out=user_indptr[1:])
+            self._user_view = (
+                user_indptr,
+                models[order].astype(np.int32),
+                self.entry_servers[order].copy(),
+            )
+        return self._user_view
+
+    def server_coverage_counts(self) -> np.ndarray:
+        """Per server, how many users it can feasibly serve *some* model.
+
+        The sparse equivalent of ``feasible.any(axis=2).sum(axis=1)``
+        (exact — integer counting). Cached.
+        """
+        if self._coverage_counts is None:
+            num_servers, num_users, _ = self.shape
+            codes = (
+                self.entry_servers.astype(np.int64) * num_users
+                + self.entry_users
+            )
+            unique_pairs = np.unique(codes)
+            self._coverage_counts = np.bincount(
+                (unique_pairs // num_users).astype(np.int64),
+                minlength=num_servers,
+            )
+        return self._coverage_counts
+
+    # ------------------------------------------------------------------
+    # Objective-layer walks
+    # ------------------------------------------------------------------
+    def served_matrix(self, placement_matrix: np.ndarray) -> np.ndarray:
+        """``(K, I)`` bool: is request (k, i) served under the placement?
+
+        Walks only the placed pairs' user lists — ``O(nnz of placed
+        columns)`` instead of the dense ``O(M·K·I)`` einsum — and returns
+        exactly the same boolean matrix.
+        """
+        num_servers, num_users, num_models = self.shape
+        if placement_matrix.shape != (num_servers, num_models):
+            raise PlacementError(
+                f"placement shape {placement_matrix.shape} does not match "
+                f"feasibility {(num_servers, num_models)}"
+            )
+        served = np.zeros((num_users, num_models), dtype=bool)
+        placed_servers, placed_models = np.nonzero(placement_matrix)
+        for server, model_index in zip(placed_servers, placed_models):
+            served[self.pair_users(int(server), int(model_index)), model_index] = True
+        return served
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SparseFeasibility(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )

@@ -12,12 +12,28 @@ specific blocks within ``Q_m - d_N``.
 Guarantees (Propositions 3-4, Theorems 1-2): with each sub-problem solved
 (1-ε)-optimally the overall solution is within ``(1-ε)/2`` of optimal, in
 time polynomial in ``M`` and ``I`` for fixed shared-block structure.
+
+Two pipeline-level accelerations ride on top of the algorithms without
+changing a single output bit:
+
+* the combination set ``A`` and the per-library sub-problem context
+  (eligibility matrix, specific weights) are memoised per library object,
+  so a sweep that fixes the library across topologies pays for them once;
+* ``workers=N`` fans each sub-problem's knapsack batch over a thread
+  pool. Every knapsack is deterministic given its (values, weights,
+  capacity), cross-worker pruning uses a strictly-weaker bound than the
+  serial incumbent, and the reduction replays the serial first-strict-
+  improvement rule in combination order — so the selected models are
+  byte-identical to the serial traversal (asserted by the equivalence
+  tests), merely computed concurrently.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +103,13 @@ class _SubproblemContext:
             self.eligible[start:stop] = missing == 0.0
 
 
+#: Per-library memo of sub-problem contexts, keyed by the combination
+#: settings. The context depends only on library structure (block
+#: membership, sizes) and the combination set — both fixed per library —
+#: so instances sharing a library (every sweep topology) reuse it.
+_CONTEXT_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 class TrimCachingSpec:
     """Algorithms 1+2: successive greedy with combination-indexed DP.
 
@@ -110,6 +133,18 @@ class TrimCachingSpec:
         Order in which sub-problems are solved: ``"index"`` (the paper),
         ``"capacity"`` (largest first) or ``"coverage"`` (most associated
         users first) — exposed for the ablation study.
+    workers:
+        Fan each sub-problem's knapsack batch across this many threads.
+        ``None``/``1`` keeps the serial traversal; any value produces
+        byte-identical selections (see the module docstring).
+    engine:
+        Coverage engine for the successive ``I2`` bookkeeping:
+        ``"dense"`` (bit-pinned to the seed), ``"sparse"`` (O(nnz) CSR
+        walks) or ``"auto"``.
+    reuse_library_cache:
+        Memoise the combination set and sub-problem context per library
+        (identical outputs; disable only to benchmark the uncached
+        pipeline).
     """
 
     name = "TrimCaching Spec"
@@ -121,6 +156,9 @@ class TrimCachingSpec:
         combinations: str = "auto",
         max_combinations: int = 200_000,
         server_order: str = "index",
+        workers: Optional[int] = None,
+        engine: str = "dense",
+        reuse_library_cache: bool = True,
     ) -> None:
         if epsilon < 0 or epsilon > 1:
             raise ConfigurationError(f"epsilon must be in [0, 1], got {epsilon}")
@@ -138,11 +176,20 @@ class TrimCachingSpec:
             raise ConfigurationError(
                 f"server_order must be index|capacity|coverage, got {server_order!r}"
             )
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if engine not in ("dense", "sparse", "auto"):
+            raise ConfigurationError(
+                f"engine must be dense|sparse|auto, got {engine!r}"
+            )
         self.epsilon = epsilon
         self.backend = backend
         self.combinations = combinations
         self.max_combinations = max_combinations
         self.server_order = server_order
+        self.workers = workers
+        self.engine = engine
+        self.reuse_library_cache = reuse_library_cache
 
     # ------------------------------------------------------------------
     def _ordered_servers(self, instance: PlacementInstance) -> List[int]:
@@ -150,9 +197,28 @@ class TrimCachingSpec:
         if self.server_order == "capacity":
             servers.sort(key=lambda m: -int(instance.capacities[m]))
         elif self.server_order == "coverage":
-            coverage = instance.feasible.any(axis=2).sum(axis=1)
+            if instance.has_sparse or instance.is_sparse_primary:
+                # Integer counting over the CSR — exactly the dense
+                # any/sum, without densifying the tensor.
+                coverage = instance.sparse_feasible.server_coverage_counts()
+            else:
+                coverage = instance.feasible.any(axis=2).sum(axis=1)
             servers.sort(key=lambda m: -int(coverage[m]))
         return servers
+
+    def _context_for(
+        self, instance: PlacementInstance, combos: Sequence[SharedCombination]
+    ) -> _SubproblemContext:
+        """The sub-problem context, memoised per library when enabled."""
+        if not self.reuse_library_cache:
+            return _SubproblemContext(instance, combos)
+        per_library: Dict = _CONTEXT_CACHE.setdefault(instance.library, {})
+        key = (self.combinations, self.max_combinations)
+        context = per_library.get(key)
+        if context is None:
+            context = _SubproblemContext(instance, combos)
+            per_library[key] = context
+        return context
 
     def _run_knapsack(
         self, values: Sequence[float], weights: Sequence[int], capacity: int
@@ -183,6 +249,7 @@ class TrimCachingSpec:
         utilities: np.ndarray,
         combos: Sequence[SharedCombination],
         context: Optional[_SubproblemContext] = None,
+        pool: Optional[ThreadPoolExecutor] = None,
     ) -> Tuple[float, List[int]]:
         """Algorithm 2 on sub-problem P2.1m.
 
@@ -197,6 +264,10 @@ class TrimCachingSpec:
             Server-independent precomputation (eligibility matrix,
             specific weights). Built on the fly when absent; ``solve``
             builds it once and shares it across all servers.
+        pool:
+            Thread pool for the knapsack batch; ``None`` runs the serial
+            traversal. ``solve`` owns one pool per call when
+            ``workers > 1``. Both paths select identical models.
 
         Returns
         -------
@@ -231,21 +302,95 @@ class TrimCachingSpec:
         # like the seed's stable list sort.
         order = np.argsort(-np.asarray(bounds, dtype=float), kind="stable")
 
-        best_mass = 0.0
-        best_selection: List[int] = []
-        for pos in order:
-            row = candidate_rows[pos]
-            if bounds[pos] <= best_mass:
-                break  # sorted: no later combo can beat the incumbent
+        def run_rank(rank: int) -> Tuple[float, List[int]]:
+            pos = order[rank]
             eligible = eligible_per_row[pos]
             values = [float(utilities[index]) for index in eligible]
             weights = [int(context.specific_weight[index]) for index in eligible]
             mass, chosen = self._run_knapsack(
-                values, weights, capacity - int(context.combo_sizes[row])
+                values,
+                weights,
+                capacity - int(context.combo_sizes[candidate_rows[pos]]),
             )
+            return mass, [int(eligible[p]) for p in chosen]
+
+        if pool is not None and len(order) > 1:
+            return self._traverse_parallel(bounds, order, run_rank, pool)
+
+        best_mass = 0.0
+        best_selection: List[int] = []
+        for rank in range(len(order)):
+            if bounds[order[rank]] <= best_mass:
+                break  # sorted: no later combo can beat the incumbent
+            mass, selection = run_rank(rank)
             if mass > best_mass:
                 best_mass = mass
-                best_selection = [int(eligible[p]) for p in chosen]
+                best_selection = selection
+        return best_mass, best_selection
+
+    # ------------------------------------------------------------------
+    def _traverse_parallel(
+        self,
+        bounds: Sequence[float],
+        order: np.ndarray,
+        run_rank,
+        pool: ThreadPoolExecutor,
+    ) -> Tuple[float, List[int]]:
+        """Fan the knapsack batch over ``pool``, byte-identical reduce.
+
+        Ranks are dealt round-robin so every worker sees a descending
+        subsequence of bounds. Pruning is provably conservative:
+
+        * within a chunk, ``bound <= local incumbent`` prunes — the
+          incumbent was achieved by an *earlier* rank, exactly the serial
+          stopping rule restricted to a subsequence;
+        * across chunks, only the strict ``bound < shared incumbent``
+          prunes, because an equal-bound combo could still tie the final
+          mass at an earlier rank and serial keeps the earliest winner.
+
+        The earliest rank achieving the maximal mass is therefore always
+        computed, and the in-order first-strict-improvement scan below
+        returns exactly the serial traversal's selection.
+        """
+        # Chunk count only shapes the work split — any value reduces to
+        # the same selection — so a private-attr fallback is harmless.
+        num_workers = max(
+            self.workers or getattr(pool, "_max_workers", 0) or 1, 1
+        )
+        # Plain cell, racy check-then-set: a stale or lost update can only
+        # LOWER the observed incumbent, which weakens pruning (extra
+        # knapsacks run) but can never prune a combo the serial traversal
+        # would have computed — correctness needs no atomicity here.
+        shared_best = [0.0]
+
+        def run_chunk(start: int) -> List[Tuple[int, float, List[int]]]:
+            results: List[Tuple[int, float, List[int]]] = []
+            local_best = 0.0
+            for rank in range(start, len(order), num_workers):
+                bound = bounds[order[rank]]
+                if bound <= local_best or bound < shared_best[0]:
+                    break  # bounds descend within the chunk
+                mass, selection = run_rank(rank)
+                results.append((rank, mass, selection))
+                if mass > local_best:
+                    local_best = mass
+                if mass > shared_best[0]:
+                    shared_best[0] = mass
+            return results
+
+        futures = [
+            pool.submit(run_chunk, start) for start in range(num_workers)
+        ]
+        merged: List[Tuple[int, float, List[int]]] = []
+        for future in futures:
+            merged.extend(future.result())
+        merged.sort(key=lambda entry: entry[0])
+        best_mass = 0.0
+        best_selection: List[int] = []
+        for _, mass, selection in merged:
+            if mass > best_mass:
+                best_mass = mass
+                best_selection = selection
         return best_mass, best_selection
 
     # ------------------------------------------------------------------
@@ -258,21 +403,31 @@ class TrimCachingSpec:
                 "(additive DP weights); this library violates that"
             )
         combos = enumerate_shared_combinations(
-            instance.library, self.combinations, self.max_combinations
+            instance.library,
+            self.combinations,
+            self.max_combinations,
+            cache=self.reuse_library_cache,
         )
-        context = _SubproblemContext(instance, combos)
+        context = self._context_for(instance, combos)
         placement = instance.new_placement()
-        tracker = CoverageTracker(instance)
+        tracker = CoverageTracker(instance, engine=self.engine)
         per_server_mass: List[float] = []
-        for server in self._ordered_servers(instance):
-            utilities = tracker.server_gains(server)  # u(m, i) with I2 applied
-            mass, selection = self.solve_subproblem(
-                instance, server, utilities, combos, context
-            )
-            for model_index in selection:
-                placement.add(server, model_index)
-            tracker.mark_server_models(server, selection)
-            per_server_mass.append(mass)
+        pool: Optional[ThreadPoolExecutor] = None
+        if self.workers is not None and self.workers > 1:
+            pool = ThreadPoolExecutor(max_workers=self.workers)
+        try:
+            for server in self._ordered_servers(instance):
+                utilities = tracker.server_gains(server)  # u(m,i), I2 applied
+                mass, selection = self.solve_subproblem(
+                    instance, server, utilities, combos, context, pool=pool
+                )
+                for model_index in selection:
+                    placement.add(server, model_index)
+                tracker.mark_server_models(server, selection)
+                per_server_mass.append(mass)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
         return SolverResult(
             placement=placement,
             hit_ratio=hit_ratio(instance, placement),
@@ -282,6 +437,7 @@ class TrimCachingSpec:
                 "num_combinations": len(combos),
                 "epsilon": self.epsilon,
                 "backend": self.backend,
+                "workers": self.workers or 1,
                 "per_server_mass": per_server_mass,
             },
         )

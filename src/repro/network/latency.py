@@ -10,6 +10,12 @@ For a user ``k`` requesting model ``i`` from server ``m``:
 problem needs from the physical layer, so :class:`LatencyModel`
 precomputes *per-bit* delivery times per (m, k) pair and broadcasts them
 against model sizes.
+
+:meth:`LatencyModel.feasibility` materialises the dense tensor;
+:meth:`LatencyModel.feasibility_sparse` produces the same indicator as a
+:class:`~repro.core.sparse.SparseFeasibility` CSR artifact without ever
+allocating the ``(M, K, I)`` float latency tensor. Both run the identical
+elementwise arithmetic per entry, so their nonzero sets are bit-equal.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.sparse import SparseFeasibility
 from repro.errors import TopologyError
 from repro.network.topology import NetworkTopology
 
@@ -85,18 +92,24 @@ class LatencyModel:
         with np.errstate(divide="ignore"):
             access = np.where((rates > 0) & covered, 1.0 / rates, np.inf)
 
-        per_bit = np.full_like(access, np.inf)
-        per_bit[covered] = access[covered]
-        # Relay through the best associated server: for non-associated m,
-        # per_bit[m, k] = min_{m' in M_k} (backhaul(m, m') + access(m', k)).
-        for k in range(topo.num_users):
-            assoc = topo.servers_of_user(k)
-            if not assoc:
-                continue
-            relay = self._backhaul_per_bit[:, assoc] + access[assoc, k][None, :]
-            best = relay.min(axis=1)
-            not_assoc = ~covered[:, k]
-            per_bit[not_assoc, k] = best[not_assoc]
+        # access is already inf wherever m does not cover k, so it doubles
+        # as the masked per-bit matrix the relay minimisation needs.
+        per_bit = access.copy()
+        # Relay through the best associated server, all users at once:
+        # per_bit[m, k] = min_{m'} (backhaul(m, m') + access(m', k)).
+        # Non-associated m' read inf and drop out of the min exactly as in
+        # the former per-user loop (float min is order-exact, so the
+        # vectorised reduction is bit-identical); a user covered by nobody
+        # stays all-inf. User chunks bound the (M, M, K') temporary.
+        num_servers, num_users = access.shape
+        chunk = max(1, 4_000_000 // max(num_servers * num_servers, 1))
+        for start in range(0, num_users, chunk):
+            stop = min(start + chunk, num_users)
+            relay = (
+                self._backhaul_per_bit[:, :, None] + access[None, :, start:stop]
+            ).min(axis=1)
+            uncovered = ~covered[:, start:stop]
+            per_bit[:, start:stop][uncovered] = relay[uncovered]
         return per_bit
 
     def latency(self, rates: Optional[np.ndarray] = None) -> np.ndarray:
@@ -110,3 +123,63 @@ class LatencyModel:
     def feasibility(self, rates: Optional[np.ndarray] = None) -> np.ndarray:
         """``I1[m,k,i]``: can server ``m`` serve (k, i) within deadline?"""
         return self.latency(rates) <= self.deadlines[None, :, :]
+
+    def feasibility_sparse(
+        self, rates: Optional[np.ndarray] = None
+    ) -> SparseFeasibility:
+        """``I1`` as a CSR artifact, built one model column at a time.
+
+        Runs exactly the elementwise arithmetic of :meth:`feasibility`
+        (same multiply/add/compare on the same values, so the nonzero set
+        is bit-identical) but only ever holds one ``(M, K)`` slice, not
+        the ``(M, K, I)`` float latency tensor and its temporaries.
+        """
+        per_bit = self.per_bit_delivery(rates)
+        num_servers, num_users = per_bit.shape
+        num_models = self.model_bits.shape[0]
+
+        # For fixed (k, i), T = D_i * per_bit[m, k] + t_{k,i} is monotone
+        # non-decreasing in per_bit (IEEE multiply/add by a positive
+        # constant round monotonically), so along each user's servers
+        # sorted by per_bit the indicator is True on a prefix. A
+        # vectorised binary search finds every (k, i) prefix cut with
+        # O(log M) probes, each probe evaluating the *original*
+        # multiply/add/compare on the original values — bit-identical
+        # membership at O(K·I·log M) instead of O(M·K·I) work.
+        order = np.argsort(per_bit, axis=0, kind="stable")  # (M, K)
+        sorted_pb = np.take_along_axis(per_bit, order, axis=0)
+        user_rows = np.arange(num_users)[:, None]
+        bits = self.model_bits[None, :]
+        low = np.zeros((num_users, num_models), dtype=np.int64)
+        high = np.full((num_users, num_models), num_servers, dtype=np.int64)
+        while True:
+            active = low < high
+            if not active.any():
+                break
+            # Clamp keeps settled entries (cut == M) in bounds; their
+            # probe result is discarded by the masks below.
+            mid = np.minimum((low + high) >> 1, num_servers - 1)
+            probe = (
+                bits * sorted_pb[mid, user_rows] + self.inference
+                <= self.deadlines
+            )
+            low = np.where(probe & active, mid + 1, low)
+            high = np.where(probe | ~active, high, mid)
+        counts = low  # (K, I): feasible servers per (user, model)
+
+        users_pair, models_pair = np.nonzero(counts)
+        pair_counts = counts[users_pair, models_pair]
+        total = int(pair_counts.sum())
+        starts = np.cumsum(pair_counts) - pair_counts
+        ranks = np.arange(total, dtype=np.int64) - np.repeat(starts, pair_counts)
+        users_flat = np.repeat(users_pair, pair_counts)
+        models_flat = np.repeat(models_pair, pair_counts)
+        servers_flat = order[ranks, users_flat]
+        # from_coo expects (model, server, user)-sorted entries.
+        sort_index = np.lexsort((users_flat, servers_flat, models_flat))
+        return SparseFeasibility.from_coo(
+            (num_servers, num_users, num_models),
+            models=models_flat[sort_index],
+            servers=servers_flat[sort_index],
+            users=users_flat[sort_index],
+        )

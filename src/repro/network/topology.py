@@ -78,14 +78,10 @@ class NetworkTopology:
         radii = np.array([s.coverage_radius_m for s in self.servers])
         covered = self._distances <= radii[:, None]
         self._covered = covered
-        self._servers_of_user: List[List[int]] = [
-            [m for m in range(self.num_servers) if covered[m, k]]
-            for k in range(self.num_users)
-        ]
-        self._users_of_server: List[List[int]] = [
-            [k for k in range(self.num_users) if covered[m, k]]
-            for m in range(self.num_servers)
-        ]
+        # M_k / K_m as Python lists are only needed by list-oriented
+        # consumers (request sim, reports); built lazily from the mask.
+        self._servers_of_user: Optional[List[List[int]]] = None
+        self._users_of_server: Optional[List[List[int]]] = None
         self._allocations = self._compute_allocations()
         self._expected_rates = self._compute_expected_rates()
 
@@ -120,30 +116,46 @@ class NetworkTopology:
     def servers_of_user(self, user_id: int) -> List[int]:
         """The paper's ``M_k``: servers covering user ``user_id``."""
         self._check_user(user_id)
+        if self._servers_of_user is None:
+            self._servers_of_user = [
+                np.flatnonzero(self._covered[:, k]).tolist()
+                for k in range(self.num_users)
+            ]
         return list(self._servers_of_user[user_id])
 
     def users_of_server(self, server_id: int) -> List[int]:
         """The paper's ``K_m``: users covered by server ``server_id``."""
         self._check_server(server_id)
+        if self._users_of_server is None:
+            self._users_of_server = [
+                np.flatnonzero(self._covered[m]).tolist()
+                for m in range(self.num_servers)
+            ]
         return list(self._users_of_server[server_id])
 
     # ------------------------------------------------------------------
     # Radio resources
     # ------------------------------------------------------------------
     def _compute_allocations(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-(m, k) expected bandwidth and power shares."""
-        bandwidth = np.zeros_like(self._distances)
-        power = np.zeros_like(self._distances)
-        for m, server in enumerate(self.servers):
-            associated = self._users_of_server[m]
-            if not associated:
-                continue
-            for k in associated:
-                share_b, share_p = server.per_user_share(
-                    len(associated), self.users[k].active_probability
-                )
-                bandwidth[m, k] = share_b
-                power[m, k] = share_p
+        """Per-(m, k) expected bandwidth and power shares.
+
+        The vectorised form of :meth:`EdgeServer.per_user_share` applied
+        to every associated pair — identical elementwise arithmetic
+        (multiply, ``max`` floor, divide), so the shares match the former
+        per-pair loop bit for bit. Servers with no associated users keep
+        all-zero rows, exactly as the loop left them.
+        """
+        counts = self._covered.sum(axis=1)  # |K_m| per server
+        active = np.array([u.active_probability for u in self.users])
+        expected_active = np.maximum(
+            active[None, :] * counts[:, None].astype(float), 1e-12
+        )
+        total_b = np.array([s.total_bandwidth_hz for s in self.servers])
+        total_p = np.array([s.total_power_watts for s in self.servers])
+        bandwidth = np.where(
+            self._covered, total_b[:, None] / expected_active, 0.0
+        )
+        power = np.where(self._covered, total_p[:, None] / expected_active, 0.0)
         return bandwidth, power
 
     @property

@@ -3,15 +3,28 @@
 The paper's figures sweep one parameter (capacity, server count, user
 count), averaging each point over 100 random topologies. ``SweepRunner``
 reproduces that shape: for every sweep value and topology seed it builds a
-scenario, runs each algorithm, scores the placement (expected hit ratio by
-default, Rayleigh Monte Carlo optionally), and aggregates mean/std series.
+scenario (a sparse-primary :class:`~repro.core.placement.
+PlacementInstance` — one problem artifact shared from the topology layer
+down to the solvers), runs each algorithm, scores the placement (expected
+hit ratio by default, Rayleigh Monte Carlo optionally), and aggregates
+mean/std series.
+
+Topology seeds are mutually independent, so ``workers=N`` fans the
+per-(sweep point, topology-slice) tasks across a process pool. Every
+task's scenario seed is fixed up front in the parent (deterministic
+seed-per-task scheduling), each worker runs exactly the code the serial
+loop runs, and results are folded into the series accumulators in the
+serial loop's order — so the resulting ``ExperimentResult`` hit-ratio
+series are *bit-identical* to ``workers=1`` (asserted by the test
+suite). Only the measured ``runtimes`` vary, as wall-clock always does.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,6 +70,58 @@ class ExperimentResult:
         return format_table(headers, rows, float_format=float_format, title=self.name)
 
 
+def _score_result(
+    scenario: Scenario,
+    result: SolverResult,
+    evaluation: str,
+    num_realizations: int,
+    seed: int,
+) -> float:
+    """Score one solver result (shared by the serial and worker paths)."""
+    if evaluation == "expected":
+        return result.hit_ratio
+    evaluator = PlacementEvaluator(scenario)
+    outcome = evaluator.monte_carlo_hit_ratio(
+        result.placement, num_realizations, seed
+    )
+    return outcome.mean
+
+
+def _run_sweep_slice(
+    task: Tuple,
+) -> List[Dict[str, Tuple[float, float]]]:
+    """Run one (sweep point, topology-slice) task.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it; the serial path calls it directly, which is what makes the
+    parallel results bit-identical — both paths are literally this code.
+    Returns, per topology seed in order, ``{algo: (score, runtime_s)}``.
+    """
+    (
+        config,
+        scenario_seeds,
+        algorithms,
+        evaluation,
+        num_realizations,
+        library,
+        feasibility,
+    ) = task
+    outcomes: List[Dict[str, Tuple[float, float]]] = []
+    for scenario_seed in scenario_seeds:
+        scenario = build_scenario(
+            config, scenario_seed, library=library, feasibility=feasibility
+        )
+        per_algo: Dict[str, Tuple[float, float]] = {}
+        for algo_name, solver in algorithms.items():
+            result = solver.solve(scenario.instance)
+            score = _score_result(
+                scenario, result, evaluation, num_realizations, scenario_seed
+            )
+            per_algo[algo_name] = (score, result.runtime_s)
+        outcomes.append(per_algo)
+    return outcomes
+
+
 class SweepRunner:
     """Run algorithms over a one-parameter sweep of scenarios.
 
@@ -81,6 +146,16 @@ class SweepRunner:
         Build the model library once per sweep point and reuse it across
         topologies (the paper fixes the library; topologies vary only in
         geometry/QoS/demand).
+    workers:
+        Process-pool width for the topology fan-out. ``1`` (default)
+        runs in-process; any value yields bit-identical hit-ratio series
+        because every task's seed is fixed in the parent and aggregation
+        replays the serial order. Tasks are sliced so each worker keeps
+        one shared library (and its solver-side caches) warm per slice.
+    feasibility:
+        Instance representation passed to ``build_scenario``:
+        ``"sparse"`` (default, CSR-primary) or ``"dense"`` (the seed's
+        up-front tensor; kept for benchmarking the old pipeline).
     """
 
     def __init__(
@@ -92,6 +167,8 @@ class SweepRunner:
         num_realizations: int = 200,
         seed: int = 0,
         share_library: bool = True,
+        workers: int = 1,
+        feasibility: str = "sparse",
     ) -> None:
         if not algorithms:
             raise ValueError("at least one algorithm is required")
@@ -101,6 +178,12 @@ class SweepRunner:
             raise ValueError(
                 f"evaluation must be 'expected' or 'monte_carlo', got {evaluation!r}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if feasibility not in ("sparse", "dense"):
+            raise ValueError(
+                f"feasibility must be 'sparse' or 'dense', got {feasibility!r}"
+            )
         self.base_config = base_config
         self.algorithms = dict(algorithms)
         self.num_topologies = num_topologies
@@ -108,18 +191,54 @@ class SweepRunner:
         self.num_realizations = num_realizations
         self.seed = seed
         self.share_library = share_library
+        self.workers = workers
+        self.feasibility = feasibility
 
     # ------------------------------------------------------------------
-    def _score(
-        self, scenario: Scenario, result: SolverResult, seed: int
-    ) -> float:
-        if self.evaluation == "expected":
-            return result.hit_ratio
-        evaluator = PlacementEvaluator(scenario)
-        outcome = evaluator.monte_carlo_hit_ratio(
-            result.placement, self.num_realizations, seed
-        )
-        return outcome.mean
+    def _build_tasks(
+        self, x_values: Sequence[float], config_for
+    ) -> List[Tuple[int, Tuple]]:
+        """Deterministic (x_index, task) list, seeds fixed in the parent.
+
+        Each sweep point's topologies are split into ``workers``
+        contiguous slices; a slice carries its shared library once, so
+        workers amortise library pickling and per-library solver caches
+        across the slice exactly like the serial loop does.
+        """
+        from repro.sim.scenario import build_library  # local: avoids cycle
+        from repro.utils.rng import RngFactory
+
+        slices = max(1, min(self.workers, self.num_topologies))
+        per_slice = -(-self.num_topologies // slices)  # ceil division
+        tasks: List[Tuple[int, Tuple]] = []
+        for x_index, x_value in enumerate(x_values):
+            config = config_for(self.base_config, x_value)
+            library = None
+            if self.share_library:
+                factory = RngFactory(self.seed)
+                library = build_library(
+                    config, factory.child(f"library-x{x_index}")
+                )
+            seeds = [
+                hash((self.seed, x_index, topology_index)) % (2**31)
+                for topology_index in range(self.num_topologies)
+            ]
+            for start in range(0, self.num_topologies, per_slice):
+                tasks.append(
+                    (
+                        x_index,
+                        (
+                            config,
+                            seeds[start : start + per_slice],
+                            self.algorithms,
+                            self.evaluation,
+                            self.num_realizations,
+                            library,
+                            self.feasibility,
+                        ),
+                    )
+                )
+        return tasks
 
     def run(
         self,
@@ -141,25 +260,21 @@ class SweepRunner:
         runtimes = {
             algo: SeriesStats(list(x_values)) for algo in self.algorithms
         }
-        from repro.sim.scenario import build_library  # local: avoids cycle
-        from repro.utils.rng import RngFactory
-
-        for x_index, x_value in enumerate(x_values):
-            config = config_for(self.base_config, x_value)
-            library = None
-            if self.share_library:
-                factory = RngFactory(self.seed)
-                library = build_library(
-                    config, factory.child(f"library-x{x_index}")
-                )
-            for topology_index in range(self.num_topologies):
-                scenario_seed = hash((self.seed, x_index, topology_index)) % (2**31)
-                scenario = build_scenario(config, scenario_seed, library=library)
-                for algo_name, solver in self.algorithms.items():
-                    result = solver.solve(scenario.instance)
-                    score = self._score(scenario, result, scenario_seed)
+        tasks = self._build_tasks(x_values, config_for)
+        payloads = [payload for _, payload in tasks]
+        if self.workers > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as executor:
+                outcomes = list(executor.map(_run_sweep_slice, payloads))
+        else:
+            outcomes = [_run_sweep_slice(payload) for payload in payloads]
+        # Fold in submission order — exactly the serial nesting, so the
+        # accumulated series are bit-identical for any worker count.
+        for (x_index, _), slice_outcomes in zip(tasks, outcomes):
+            for per_algo in slice_outcomes:
+                for algo_name in self.algorithms:
+                    score, runtime_s = per_algo[algo_name]
                     series[algo_name].add(x_index, score)
-                    runtimes[algo_name].add(x_index, result.runtime_s)
+                    runtimes[algo_name].add(x_index, runtime_s)
         return ExperimentResult(
             name=name,
             x_label=x_label,
@@ -170,5 +285,6 @@ class SweepRunner:
                 "num_topologies": self.num_topologies,
                 "evaluation": self.evaluation,
                 "seed": self.seed,
+                "workers": self.workers,
             },
         )

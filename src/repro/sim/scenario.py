@@ -4,6 +4,13 @@ A :class:`Scenario` bundles the network topology, model library, demand
 matrix and the derived :class:`~repro.core.placement.PlacementInstance`.
 Construction is fully deterministic given ``(config, seed)``; independent
 seeds yield the independent topologies the paper averages over.
+
+Instances are built *sparse-primary* by default: the feasibility
+indicator is produced as a :class:`~repro.core.sparse.SparseFeasibility`
+CSR artifact (the ``(M, K, I)`` float latency tensor is never
+materialised) and the dense boolean tensor is derived lazily only if a
+dense consumer asks for it. The CSR encodes a bit-identical indicator,
+so this is purely a representation change.
 """
 
 from __future__ import annotations
@@ -66,7 +73,7 @@ class Scenario:
         return PlacementInstance(
             library=self.library,
             demand=self.demand,
-            feasible=latency.feasibility(),
+            feasible=latency.feasibility_sparse(),
             capacities=self.instance.capacities,
         )
 
@@ -116,6 +123,7 @@ def build_scenario(
     config: ScenarioConfig = ScenarioConfig(),
     seed: Optional[int] = 0,
     library: Optional[ModelLibrary] = None,
+    feasibility: str = "sparse",
 ) -> Scenario:
     """Materialise one snapshot of the paper's §VII-A setup.
 
@@ -129,7 +137,16 @@ def build_scenario(
     library:
         Reuse an existing library instead of generating one (the paper
         fixes the library across topologies; the sweep runner uses this).
+    feasibility:
+        ``"sparse"`` (default) stores the indicator as a CSR artifact;
+        ``"dense"`` materialises the seed's boolean tensor up front. The
+        two instances are interchangeable (bit-identical indicator);
+        ``"dense"`` exists for benchmarking the pre-sparse pipeline.
     """
+    if feasibility not in ("sparse", "dense"):
+        raise ValueError(
+            f"feasibility must be 'sparse' or 'dense', got {feasibility!r}"
+        )
     factory = RngFactory(seed)
     if library is None:
         library = build_library(config, factory.child("library"))
@@ -196,7 +213,11 @@ def build_scenario(
     instance = PlacementInstance(
         library=library,
         demand=demand,
-        feasible=latency_model.feasibility(),
+        feasible=(
+            latency_model.feasibility_sparse()
+            if feasibility == "sparse"
+            else latency_model.feasibility()
+        ),
         capacities=capacities,
     )
     return Scenario(

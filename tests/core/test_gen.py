@@ -179,3 +179,42 @@ class TestFillZeroGain:
                 if model_index in cached:
                     continue
                 assert tiny_instance.marginal_storage(model_index, blocks) > remaining
+
+
+class TestFillZeroGainPort:
+    """The ServerBlockCache-based filler must replay the seed's set walk."""
+
+    @staticmethod
+    def _fill_remaining_set_walk(instance, placement):
+        """The pre-port filler (Python set walks), kept as the oracle."""
+        cached_blocks = []
+        used = []
+        for server in range(instance.num_servers):
+            blocks = set()
+            for model_index in placement.models_on(server):
+                blocks |= instance.model_blocks[model_index]
+            cached_blocks.append(blocks)
+            used.append(instance.dedup_storage(placement.models_on(server)))
+        for server in range(instance.num_servers):
+            remaining = int(instance.capacities[server] - used[server])
+            for model_index in range(instance.num_models):
+                if placement.contains(server, model_index):
+                    continue
+                extra = instance.marginal_storage(
+                    model_index, cached_blocks[server]
+                )
+                if extra <= remaining:
+                    placement.add(server, model_index)
+                    cached_blocks[server] |= instance.model_blocks[model_index]
+                    remaining -= extra
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_fill(self, instance):
+        base = TrimCachingGen(fill_zero_gain=False).solve(instance).placement
+        ported = base.copy()
+        TrimCachingGen(fill_zero_gain=True)._fill_remaining(instance, ported)
+        oracle = base.copy()
+        self._fill_remaining_set_walk(instance, oracle)
+        assert ported == oracle
+        assert placement_is_feasible(instance, ported)

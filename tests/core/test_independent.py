@@ -71,3 +71,26 @@ class TestDominance:
         gen = TrimCachingGen().solve(tight_scenario.instance)
         independent = IndependentCaching().solve(tight_scenario.instance)
         assert gen.hit_ratio >= independent.hit_ratio
+
+
+class TestMaskedArgmaxPort:
+    """The masked-argmax engine must replay the seed loop byte for byte
+    (the scenario-grid pinning lives in test_reference_equivalence)."""
+
+    @given(small_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_to_reference(self, instance):
+        from repro.core.reference import ReferenceIndependent
+
+        new = IndependentCaching().solve(instance)
+        ref = ReferenceIndependent().solve(instance)
+        assert new.placement == ref.placement
+        assert new.hit_ratio == ref.hit_ratio
+        assert new.stats["greedy_steps"] == ref.stats["greedy_steps"]
+
+    @given(small_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_sparse_engine_identical(self, instance):
+        dense = IndependentCaching().solve(instance)
+        sparse = IndependentCaching(engine="sparse").solve(instance)
+        assert dense.placement == sparse.placement

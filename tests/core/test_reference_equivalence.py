@@ -22,11 +22,13 @@ import pytest
 
 from repro.core.dp import knapsack_value_dp
 from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
 from repro.core.objective import CoverageTracker
 from repro.core.placement import PlacementInstance
 from repro.core.reference import (
     ReferenceCoverageTracker,
     ReferenceGen,
+    ReferenceIndependent,
     ReferenceSpec,
     reference_knapsack_value_dp,
 )
@@ -48,7 +50,7 @@ SCENARIO_GRID = [
 ]
 
 
-def grid_instance(case, storage, seed) -> PlacementInstance:
+def grid_instance(case, storage, seed, feasibility="sparse") -> PlacementInstance:
     config = ScenarioConfig(
         num_servers=6,
         num_users=40,
@@ -57,7 +59,7 @@ def grid_instance(case, storage, seed) -> PlacementInstance:
         storage_bytes=int(storage * GB),
         library_case=case,
     )
-    return build_scenario(config, seed=seed).instance
+    return build_scenario(config, seed=seed, feasibility=feasibility).instance
 
 
 def random_tracker_instance(rng) -> PlacementInstance:
@@ -163,6 +165,121 @@ class TestSpecEquivalence:
         ref = ReferenceSpec(epsilon=0.1).solve(instance)
         assert new.placement == ref.placement
         assert new.stats["per_server_mass"] == ref.stats["per_server_mass"]
+
+
+class TestIndependentEquivalence:
+    @pytest.mark.parametrize("case,storage,seed", SCENARIO_GRID)
+    def test_masked_argmax_matches_seed(self, case, storage, seed):
+        """The masked-argmax Independent port is byte-identical to the
+        seed's per-step rescan loop."""
+        instance = grid_instance(case, storage, seed)
+        new = IndependentCaching().solve(instance)
+        ref = ReferenceIndependent().solve(instance)
+        assert new.placement == ref.placement
+        assert new.hit_ratio == ref.hit_ratio
+        assert new.stats["greedy_steps"] == ref.stats["greedy_steps"]
+
+
+class TestSparseEquivalence:
+    """The CSR feasibility/coverage path pinned against the dense seed.
+
+    The sparse engine's ``served``/``unserved_demand`` state is exactly
+    the dense engine's; its gain sums reduce only the CSR nonzeros and so
+    may differ from the einsum in final ulps — placements, hit ratios and
+    the zero/positive gain structure must still match exactly.
+    """
+
+    def test_tracker_state_exact_and_gains_tight(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            instance = random_tracker_instance(rng)
+            dense = CoverageTracker(instance, engine="dense")
+            sparse = CoverageTracker(instance, engine="sparse")
+            ref = ReferenceCoverageTracker(instance)
+            for _ in range(15):
+                server = int(rng.integers(0, instance.num_servers))
+                model = int(rng.integers(0, instance.num_models))
+                dense.mark_served(server, model)
+                sparse.mark_served(server, model)
+                ref.mark_served(server, model)
+                assert (sparse.served == ref.served).all()
+                assert (
+                    sparse.unserved_demand() == ref.unserved_demand()
+                ).all()
+                gains_sparse = sparse.gain_matrix()
+                gains_ref = ref.gain_matrix()
+                # Same terms, possibly different reduction grouping.
+                assert np.allclose(gains_sparse, gains_ref, rtol=1e-12, atol=0.0)
+                # Zero structure is exact: a pair with no reachable mass
+                # reads exactly 0.0 in both engines (the argmax stopping
+                # rule depends on it).
+                assert ((gains_sparse == 0.0) == (gains_ref == 0.0)).all()
+                assert sparse.hit_ratio() == dense.hit_ratio()
+
+    @pytest.mark.parametrize("case,storage,seed", SCENARIO_GRID)
+    def test_sparse_gen_matches_seed(self, case, storage, seed):
+        sparse_instance = grid_instance(case, storage, seed)
+        assert sparse_instance.is_sparse_primary
+        result = TrimCachingGen(engine="sparse").solve(sparse_instance)
+        seed_result = ReferenceGen(accelerated=False).solve(
+            grid_instance(case, storage, seed, feasibility="dense")
+        )
+        assert result.placement == seed_result.placement
+        assert result.hit_ratio == seed_result.hit_ratio
+
+    @pytest.mark.parametrize(
+        "storage,seed",
+        [(s, seed) for s in (0.06, 0.12, 0.3) for seed in (0, 1, 2, 3)],
+    )
+    def test_sparse_spec_matches_seed(self, storage, seed):
+        sparse_instance = grid_instance("special", storage, seed)
+        result = TrimCachingSpec(epsilon=0.1, engine="sparse").solve(
+            sparse_instance
+        )
+        ref = ReferenceSpec(epsilon=0.1).solve(
+            grid_instance("special", storage, seed, feasibility="dense")
+        )
+        assert result.placement == ref.placement
+        assert result.hit_ratio == ref.hit_ratio
+
+    @pytest.mark.parametrize("case,storage,seed", SCENARIO_GRID[:8])
+    def test_sparse_independent_matches_seed(self, case, storage, seed):
+        sparse_instance = grid_instance(case, storage, seed)
+        result = IndependentCaching(engine="sparse").solve(sparse_instance)
+        ref = ReferenceIndependent().solve(
+            grid_instance(case, storage, seed, feasibility="dense")
+        )
+        assert result.placement == ref.placement
+        assert result.hit_ratio == ref.hit_ratio
+
+
+class TestParallelSpecEquivalence:
+    """``workers=N`` Spec is byte-identical to the serial traversal."""
+
+    @pytest.mark.parametrize(
+        "storage,seed", [(s, seed) for s in (0.06, 0.12) for seed in (0, 1, 2)]
+    )
+    def test_workers_byte_identical(self, storage, seed):
+        instance = grid_instance("special", storage, seed)
+        serial = TrimCachingSpec(epsilon=0.1).solve(instance)
+        parallel = TrimCachingSpec(epsilon=0.1, workers=3).solve(instance)
+        assert parallel.placement == serial.placement
+        assert parallel.hit_ratio == serial.hit_ratio
+        assert (
+            parallel.stats["per_server_mass"]
+            == serial.stats["per_server_mass"]
+        )
+
+    def test_cache_disabled_identical(self):
+        instance = grid_instance("special", 0.12, 0)
+        cached = TrimCachingSpec(epsilon=0.1).solve(instance)
+        uncached = TrimCachingSpec(
+            epsilon=0.1, reuse_library_cache=False
+        ).solve(instance)
+        assert cached.placement == uncached.placement
+        assert (
+            cached.stats["per_server_mass"] == uncached.stats["per_server_mass"]
+        )
 
 
 class TestKnapsackEquivalence:

@@ -1,0 +1,162 @@
+"""Tests for the CSR feasibility artifact (:mod:`repro.core.sparse`).
+
+Everything boolean/integer here must be *exactly* equal to the dense
+path — the CSR is a representation change, not an approximation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacementInstance
+from repro.core.sparse import SparseFeasibility
+from repro.errors import PlacementError
+from repro.sim.config import ScenarioConfig
+from repro.sim.scenario import build_scenario
+from repro.utils.units import GB
+
+
+def random_dense(rng, num_servers=None, num_users=None, num_models=None):
+    num_servers = num_servers or int(rng.integers(1, 8))
+    num_users = num_users or int(rng.integers(1, 40))
+    num_models = num_models or int(rng.integers(1, 15))
+    density = float(rng.uniform(0.0, 0.5))
+    return rng.random((num_servers, num_users, num_models)) < density
+
+
+class TestRoundTrip:
+    def test_dense_round_trip_exact(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            dense = random_dense(rng)
+            sparse = SparseFeasibility.from_dense(dense)
+            assert sparse.shape == dense.shape
+            assert sparse.nnz == int(dense.sum())
+            assert (sparse.to_dense() == dense).all()
+
+    def test_empty_and_full_tensors(self):
+        for dense in (
+            np.zeros((3, 4, 5), dtype=bool),
+            np.ones((3, 4, 5), dtype=bool),
+        ):
+            sparse = SparseFeasibility.from_dense(dense)
+            assert (sparse.to_dense() == dense).all()
+            assert sparse.density == float(dense.mean())
+
+    def test_pair_users_match_dense(self):
+        rng = np.random.default_rng(1)
+        dense = random_dense(rng, 5, 20, 8)
+        sparse = SparseFeasibility.from_dense(dense)
+        for server in range(5):
+            for model_index in range(8):
+                expected = np.flatnonzero(dense[server, :, model_index])
+                assert (sparse.pair_users(server, model_index) == expected).all()
+
+    def test_column_entries_cover_column(self):
+        rng = np.random.default_rng(2)
+        dense = random_dense(rng, 4, 25, 6)
+        sparse = SparseFeasibility.from_dense(dense)
+        for model_index in range(6):
+            servers, users = sparse.column_entries(model_index)
+            rebuilt = np.zeros((4, 25), dtype=bool)
+            rebuilt[servers, users] = True
+            assert (rebuilt == dense[:, :, model_index]).all()
+
+    def test_user_view_matches_dense(self):
+        rng = np.random.default_rng(3)
+        dense = random_dense(rng, 5, 15, 7)
+        sparse = SparseFeasibility.from_dense(dense)
+        indptr, user_models, user_servers = sparse.user_view()
+        assert indptr[-1] == sparse.nnz
+        for user in range(15):
+            start, stop = indptr[user], indptr[user + 1]
+            rebuilt = np.zeros((5, 7), dtype=bool)
+            rebuilt[user_servers[start:stop], user_models[start:stop]] = True
+            assert (rebuilt == dense[:, user, :]).all()
+
+    def test_server_coverage_counts(self):
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            dense = random_dense(rng)
+            sparse = SparseFeasibility.from_dense(dense)
+            expected = dense.any(axis=2).sum(axis=1)
+            assert (sparse.server_coverage_counts() == expected).all()
+
+    def test_served_matrix_matches_einsum(self):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            dense = random_dense(rng)
+            sparse = SparseFeasibility.from_dense(dense)
+            placement = rng.random((dense.shape[0], dense.shape[2])) < 0.3
+            expected = np.einsum("mki,mi->ki", dense, placement) > 0
+            assert (sparse.served_matrix(placement) == expected).all()
+
+    def test_served_matrix_rejects_bad_shape(self):
+        sparse = SparseFeasibility.from_dense(np.ones((2, 3, 4), dtype=bool))
+        with pytest.raises(PlacementError):
+            sparse.served_matrix(np.ones((2, 5), dtype=bool))
+
+
+class TestLatencyConstruction:
+    """``feasibility_sparse`` must equal the dense tensor bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_matches_dense_feasibility(self, seed):
+        config = ScenarioConfig(
+            num_servers=8,
+            num_users=50,
+            num_models=20,
+            requests_per_user=8,
+            storage_bytes=int(0.1 * GB),
+        )
+        scenario = build_scenario(config, seed=seed, feasibility="dense")
+        dense = scenario.latency_model.feasibility()
+        sparse = scenario.latency_model.feasibility_sparse()
+        assert (sparse.to_dense() == dense).all()
+
+    def test_matches_under_faded_rates(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_servers=4, num_users=12, num_models=8), seed=3
+        )
+        rng = np.random.default_rng(0)
+        rates = scenario.topology.expected_rates * rng.rayleigh(
+            scale=np.sqrt(2 / np.pi), size=scenario.topology.expected_rates.shape
+        )
+        dense = scenario.latency_model.feasibility(rates)
+        sparse = scenario.latency_model.feasibility_sparse(rates)
+        assert (sparse.to_dense() == dense).all()
+
+
+class TestSparsePrimaryInstance:
+    def test_lazy_dense_identical(self):
+        scenario = build_scenario(
+            ScenarioConfig(num_servers=4, num_users=20, num_models=10), seed=5
+        )
+        instance = scenario.instance
+        assert instance.is_sparse_primary
+        dense_scenario = build_scenario(
+            scenario.config, seed=5, feasibility="dense"
+        )
+        assert not dense_scenario.instance.is_sparse_primary
+        assert (instance.feasible == dense_scenario.instance.feasible).all()
+        assert instance.feasible_shape == dense_scenario.instance.feasible_shape
+
+    def test_dense_primary_lazy_sparse(self):
+        rng = np.random.default_rng(6)
+        scenario = build_scenario(
+            ScenarioConfig(num_servers=3, num_users=10, num_models=6),
+            seed=1,
+            feasibility="dense",
+        )
+        instance = scenario.instance
+        assert not instance.has_sparse
+        sparse = instance.sparse_feasible
+        assert instance.has_sparse
+        assert (sparse.to_dense() == instance.feasible).all()
+        assert instance.feasibility_density == sparse.density
+
+    def test_shape_validation_with_sparse_input(self, tiny_library):
+        sparse = SparseFeasibility.from_dense(np.ones((2, 2, 4), dtype=bool))
+        with pytest.raises(PlacementError):
+            PlacementInstance(
+                tiny_library, np.full((2, 3), 0.1), sparse, [10, 10]
+            )

@@ -92,3 +92,91 @@ class TestSweepRunner:
             SweepRunner(base, {"Gen": TrimCachingGen()}, num_topologies=0)
         with pytest.raises(ValueError):
             SweepRunner(base, {"Gen": TrimCachingGen()}, evaluation="magic")
+        with pytest.raises(ValueError):
+            SweepRunner(base, {"Gen": TrimCachingGen()}, workers=0)
+        with pytest.raises(ValueError):
+            SweepRunner(base, {"Gen": TrimCachingGen()}, feasibility="csc")
+
+
+class TestParallelDeterminism:
+    """``workers=N`` must reproduce the serial series bit for bit."""
+
+    @staticmethod
+    def _run(workers: int, evaluation: str = "expected") -> ExperimentResult:
+        from repro.core.spec import TrimCachingSpec
+
+        base = ScenarioConfig(
+            library_case="special",
+            num_servers=3,
+            num_users=10,
+            num_models=9,
+            requests_per_user=5,
+        )
+        runner = SweepRunner(
+            base,
+            {
+                "Spec": TrimCachingSpec(epsilon=0.1),
+                "Gen": TrimCachingGen(),
+                "Independent": IndependentCaching(),
+            },
+            num_topologies=3,
+            evaluation=evaluation,
+            num_realizations=10,
+            seed=5,
+            workers=workers,
+        )
+        return runner.run(
+            "determinism",
+            "Q (GB)",
+            [0.05, 0.1, 0.2],
+            lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+        )
+
+    def test_workers4_bit_identical_series(self):
+        serial = self._run(workers=1)
+        parallel = self._run(workers=4)
+        assert set(serial.series) == set(parallel.series)
+        for algo in serial.series:
+            assert (
+                serial.series[algo].means == parallel.series[algo].means
+            ).all()
+            assert (
+                serial.series[algo].stds == parallel.series[algo].stds
+            ).all()
+            assert (
+                serial.series[algo].counts == parallel.series[algo].counts
+            ).all()
+        assert parallel.metadata["workers"] == 4
+
+    def test_workers_exceeding_topologies(self):
+        """More workers than topologies still aggregates correctly."""
+        serial = self._run(workers=1)
+        oversubscribed = self._run(workers=16)
+        for algo in serial.series:
+            assert (
+                serial.series[algo].means == oversubscribed.series[algo].means
+            ).all()
+
+    def test_dense_feasibility_mode_matches(self):
+        """The dense-instance pipeline scores the same series (the CSR is
+        a representation change, not a behavioural one)."""
+        base = ScenarioConfig(num_servers=2, num_users=6, num_models=6)
+        algorithms = {"Gen": TrimCachingGen()}
+
+        def run(feasibility):
+            return SweepRunner(
+                base,
+                algorithms,
+                num_topologies=2,
+                seed=1,
+                feasibility=feasibility,
+            ).run(
+                "mode",
+                "Q (GB)",
+                [0.1, 0.2],
+                lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+            )
+
+        assert (
+            run("sparse").mean_of("Gen") == run("dense").mean_of("Gen")
+        ).all()
