@@ -1,0 +1,131 @@
+"""Benchmark the declarative experiment API against the raw runner.
+
+The plan layer (`repro.api`) must be free abstraction: `run_plan()` on a
+sweep plan drives the exact same `SweepRunner` loop as hand-wired code,
+so its overhead should be microseconds against sweeps that take seconds.
+This script measures that overhead, checks the series are bit-identical,
+and times the plan/result JSON round-trips that the CLI and CI rely on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_api.py [--quick] [--output out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.api import ExperimentPlan, SolverSpec, SweepSpec, run_plan
+from repro.api.plan import plan_from_json, plan_to_json
+from repro.core.gen import GenConfig, TrimCachingGen
+from repro.core.independent import IndependentCaching, IndependentConfig
+from repro.sim.config import ScenarioConfig
+from repro.sim.runner import SweepRunner
+from repro.sim.serialization import result_set_from_json, result_set_to_json
+from repro.utils.units import GB
+
+
+def bench(quick: bool) -> dict:
+    params = dict(
+        library_case="special",
+        num_servers=6 if quick else 10,
+        num_users=30 if quick else 120,
+        num_models=20 if quick else 60,
+        requests_per_user=10 if quick else 30,
+    )
+    points = (0.15, 0.3) if quick else (0.15, 0.3, 0.6)
+    num_topologies = 2 if quick else 6
+
+    plan = ExperimentPlan(
+        name="bench api sweep",
+        sweep=SweepSpec("capacity", points),
+        solvers=(
+            SolverSpec("gen", config=GenConfig(engine="sparse")),
+            SolverSpec("independent", config=IndependentConfig(engine="sparse")),
+        ),
+        base=params,
+        num_topologies=num_topologies,
+        seed=7,
+        scale=1.0,
+    )
+
+    start = time.perf_counter()
+    plan_result = run_plan(plan)
+    plan_s = time.perf_counter() - start
+
+    runner = SweepRunner(
+        ScenarioConfig(**params),
+        {
+            "TrimCaching Gen": TrimCachingGen(engine="sparse"),
+            "Independent Caching": IndependentCaching(engine="sparse"),
+        },
+        num_topologies=num_topologies,
+        seed=7,
+    )
+    start = time.perf_counter()
+    raw_result = runner.run(
+        "bench api sweep",
+        "Q (GB, paper scale)",
+        list(points),
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+    )
+    raw_s = time.perf_counter() - start
+
+    identical = all(
+        (plan_result.series[a].means == raw_result.series[a].means).all()
+        and (plan_result.series[a].stds == raw_result.series[a].stds).all()
+        for a in raw_result.series
+    )
+    assert identical, "plan path diverges from the raw SweepRunner"
+
+    start = time.perf_counter()
+    for _ in range(100):
+        restored = plan_from_json(plan_to_json(plan))
+    plan_json_us = (time.perf_counter() - start) / 100 * 1e6
+    assert restored == plan
+
+    start = time.perf_counter()
+    for _ in range(100):
+        result_set_from_json(result_set_to_json(plan_result))
+    result_json_us = (time.perf_counter() - start) / 100 * 1e6
+
+    overhead_s = plan_s - raw_s
+    print(
+        f"api sweep (M={params['num_servers']}, K={params['num_users']}, "
+        f"I={params['num_models']}, {num_topologies} topologies x "
+        f"{len(points)} points): run_plan {plan_s:.3f} s vs raw runner "
+        f"{raw_s:.3f} s (overhead {overhead_s * 1e3:+.1f} ms, identical "
+        f"series); plan JSON round-trip {plan_json_us:.0f} us, result-set "
+        f"JSON round-trip {result_json_us:.0f} us"
+    )
+    return {
+        "api_overhead": {
+            "instance": {**params, "seed": 7},
+            "num_topologies": num_topologies,
+            "sweep_points_gb": list(points),
+            "run_plan_s": plan_s,
+            "raw_runner_s": raw_s,
+            "overhead_s": overhead_s,
+            "series_identical": identical,
+            "plan_json_round_trip_us": plan_json_us,
+            "result_set_json_round_trip_us": result_json_us,
+        }
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--output", help="write results to this JSON file")
+    args = parser.parse_args(argv)
+    results = bench(args.quick)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=1, sort_keys=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

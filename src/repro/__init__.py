@@ -68,6 +68,23 @@ from repro.sim import (
     SweepRunner,
     build_scenario,
 )
+from repro.api import (
+    SOLVERS,
+    ExperimentPlan,
+    MobilitySpec,
+    ReplacementSpec,
+    ResultSet,
+    SolverRegistry,
+    SolverSpec,
+    SweepSpec,
+    run_plan,
+)
+from repro.core import (
+    ExhaustiveConfig,
+    GenConfig,
+    IndependentConfig,
+    SpecConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -121,5 +138,19 @@ __all__ = [
     "PlacementEvaluator",
     "MobilityStudy",
     "SweepRunner",
+    # declarative experiment API
+    "SOLVERS",
+    "SolverRegistry",
+    "SolverSpec",
+    "SweepSpec",
+    "MobilitySpec",
+    "ReplacementSpec",
+    "ExperimentPlan",
+    "ResultSet",
+    "run_plan",
+    "SpecConfig",
+    "GenConfig",
+    "IndependentConfig",
+    "ExhaustiveConfig",
     "__version__",
 ]

@@ -1,22 +1,59 @@
-"""Command-line entry point: regenerate any paper figure or table.
+"""Command-line entry point: regenerate any paper figure or table, or
+run an arbitrary declarative sweep.
 
 Usage::
 
     python -m repro fig4a --topologies 10
     python -m repro fig6a
     python -m repro table1
+    python -m repro solvers
+    python -m repro sweep --axis capacity --algos spec,gen,independent
+    python -m repro sweep --axis users --points 10,30,50 --engine sparse
     trimcaching fig7 --runs 3
 
-Every command prints the reproduced table to stdout.
+Every command prints the reproduced table to stdout. The ``sweep``
+command is the generic front-end to the declarative experiment API
+(:mod:`repro.api`): pick an axis, points, and any set of registered
+solvers — the per-figure commands are just pre-baked plans.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.sim import experiments
+
+#: Engine choices plumbed into every solver that has an ``engine`` knob.
+_ENGINES = ("dense", "sparse", "auto")
+
+
+def _render_result(result, args: argparse.Namespace) -> str:
+    """Table plus the optional chart/CSV/JSON side outputs."""
+    output = result.to_table()
+    if getattr(args, "chart", False):
+        from repro.utils.charts import ascii_chart
+
+        output += "\n\n" + ascii_chart(
+            [float(x) for x in result.x_values],
+            {algo: result.series[algo].means.tolist() for algo in result.series},
+            title=result.name,
+        )
+    if getattr(args, "csv", None):
+        from repro.sim.serialization import experiment_to_csv
+
+        with open(args.csv, "w") as handle:
+            handle.write(experiment_to_csv(result))
+        output += f"\n(series written to {args.csv})"
+    if getattr(args, "json", None):
+        from repro.sim.serialization import result_set_to_json
+
+        with open(args.json, "w") as handle:
+            handle.write(result_set_to_json(result))
+        output += f"\n(result set written to {args.json})"
+    return output
 
 
 def _sweep_command(fn: Callable) -> Callable[[argparse.Namespace], str]:
@@ -26,26 +63,11 @@ def _sweep_command(fn: Callable) -> Callable[[argparse.Namespace], str]:
             evaluation=args.evaluation,
             seed=args.seed,
             workers=args.workers,
+            engine=args.engine,
         )
         if args.scale is not None:
             kwargs["scale"] = args.scale
-        result = fn(**kwargs)
-        output = result.to_table()
-        if args.chart:
-            from repro.utils.charts import ascii_chart
-
-            output += "\n\n" + ascii_chart(
-                list(result.x_values),
-                {algo: result.mean_of(algo).tolist() for algo in result.series},
-                title=result.name,
-            )
-        if args.csv:
-            from repro.sim.serialization import experiment_to_csv
-
-            with open(args.csv, "w") as handle:
-                handle.write(experiment_to_csv(result))
-            output += f"\n(series written to {args.csv})"
-        return output
+        return _render_result(fn(**kwargs), args)
 
     return run
 
@@ -79,6 +101,108 @@ def _ablation_replacement(args: argparse.Namespace) -> str:
     ).to_table()
 
 
+def _solvers(args: argparse.Namespace) -> str:
+    from repro.api import SOLVERS
+
+    return SOLVERS.to_table()
+
+
+# ----------------------------------------------------------------------
+# The generic declarative sweep
+# ----------------------------------------------------------------------
+#: Default point lists for the named axes (the paper's sweeps).
+_DEFAULT_POINTS = {
+    "capacity": experiments.CAPACITY_SWEEP_GB,
+    "servers": experiments.SERVER_SWEEP,
+    "users": experiments.USER_SWEEP,
+}
+
+
+def _parse_points(text: str) -> List[float]:
+    from repro.errors import ConfigurationError
+
+    try:
+        return [float(token) for token in text.split(",") if token.strip()]
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid --points value: {exc}") from exc
+
+
+def _generic_solver_spec(name: str, engine: str, epsilon: float):
+    """A SolverSpec for ``name`` with engine/epsilon applied when supported."""
+    from repro.api import SOLVERS, SolverSpec
+
+    config = SOLVERS.config(name)
+    field_names = {f.name for f in dataclasses.fields(config)}
+    updates = {}
+    if "engine" in field_names:
+        updates["engine"] = engine
+    if "epsilon" in field_names:
+        updates["epsilon"] = epsilon
+    if updates:
+        config = dataclasses.replace(config, **updates)
+    return SolverSpec(name, config=config)
+
+
+def _generic_sweep(args: argparse.Namespace) -> str:
+    from repro.api import ExperimentPlan, SweepSpec, plan_to_json, run_plan
+    from repro.utils.units import GB
+
+    scale = args.scale if args.scale is not None else experiments.DEFAULT_SCALE
+    points = (
+        _parse_points(args.points)
+        if args.points is not None
+        else list(_DEFAULT_POINTS.get(args.axis, []))
+    )
+    if not points:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"--points is required for axis {args.axis!r} "
+            f"(no paper default exists)"
+        )
+    base = {
+        "library_case": args.case,
+        "num_models": experiments._scaled_library(scale),
+        "requests_per_user": experiments._scaled_requests(scale),
+    }
+    if args.servers is not None:
+        base["num_servers"] = args.servers
+    if args.users is not None:
+        base["num_users"] = args.users
+    if args.models is not None:
+        base["num_models"] = args.models
+    if args.requests_per_user is not None:
+        base["requests_per_user"] = args.requests_per_user
+    if args.storage_gb is not None:
+        base["storage_bytes"] = int(args.storage_gb * scale * GB)
+    algos = [token.strip() for token in args.algos.split(",") if token.strip()]
+    if not algos:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "--algos must name at least one registered solver"
+        )
+    plan = ExperimentPlan(
+        name=args.name
+        or f"Sweep — {args.axis} ({args.case} case, scale={scale})",
+        sweep=SweepSpec(args.axis, tuple(points)),
+        solvers=tuple(
+            _generic_solver_spec(name, args.engine, args.epsilon)
+            for name in algos
+        ),
+        base=base,
+        num_topologies=args.topologies,
+        evaluation=args.evaluation,
+        num_realizations=args.realizations,
+        seed=args.seed,
+        scale=scale,
+        workers=args.workers,
+    )
+    if args.dry_run:
+        return plan_to_json(plan)
+    return _render_result(run_plan(plan), args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -90,6 +214,16 @@ def build_parser() -> argparse.ArgumentParser:
     def add_common(p: argparse.ArgumentParser, topologies: int = 10) -> None:
         p.add_argument("--topologies", type=int, default=topologies)
         p.add_argument("--seed", type=int, default=0)
+
+    def add_sweep_outputs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--chart", action="store_true", help="also render an ASCII chart"
+        )
+        p.add_argument("--csv", help="write the series to this CSV file")
+        p.add_argument(
+            "--json",
+            help="write the full result set (series + plan) to this JSON file",
+        )
 
     sweeps = {
         "fig4a": experiments.fig4a_hit_vs_capacity,
@@ -119,10 +253,72 @@ def build_parser() -> argparse.ArgumentParser:
             "(bit-identical series for any value)",
         )
         p.add_argument(
-            "--chart", action="store_true", help="also render an ASCII chart"
+            "--engine",
+            choices=_ENGINES,
+            default="dense",
+            help="coverage engine: dense (bit-pinned to the seed), "
+            "sparse (O(nnz) CSR walks) or auto",
         )
-        p.add_argument("--csv", help="write the series to this CSV file")
+        add_sweep_outputs(p)
         p.set_defaults(handler=_sweep_command(fn))
+
+    # The generic declarative sweep over any axis/solver set.
+    p = sub.add_parser(
+        "sweep",
+        help="Run a declarative sweep: any axis, points and solver set.",
+    )
+    add_common(p)
+    p.add_argument(
+        "--axis",
+        required=True,
+        help="capacity | servers | users | any ScenarioConfig field",
+    )
+    p.add_argument(
+        "--points",
+        help="comma-separated sweep points (defaults to the paper's "
+        "values for the named axes)",
+    )
+    p.add_argument(
+        "--algos",
+        default="gen,independent",
+        help="comma-separated registered solver names "
+        "(see `python -m repro solvers`)",
+    )
+    p.add_argument("--case", choices=("special", "general"), default="special")
+    p.add_argument(
+        "--evaluation", choices=("expected", "monte_carlo"), default="expected"
+    )
+    p.add_argument("--realizations", type=int, default=200)
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--engine", choices=_ENGINES, default="dense")
+    p.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.1,
+        help="rounding parameter for solvers that take one (spec)",
+    )
+    p.add_argument("--servers", type=int, default=None)
+    p.add_argument("--users", type=int, default=None)
+    p.add_argument("--models", type=int, default=None)
+    p.add_argument("--requests-per-user", type=int, default=None)
+    p.add_argument(
+        "--storage-gb",
+        type=float,
+        default=None,
+        help="per-server storage in paper-scale GB (shrunk by --scale)",
+    )
+    p.add_argument("--name", default=None, help="result/plan title")
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the plan JSON instead of running it",
+    )
+    add_sweep_outputs(p)
+    p.set_defaults(handler=_generic_sweep)
+
+    p = sub.add_parser("solvers", help="List the registered solvers.")
+    p.set_defaults(handler=_solvers)
 
     comparisons = {
         "fig6a": experiments.fig6a_optimality_gap,
@@ -164,9 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.errors import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.handler(args))
+    try:
+        print(args.handler(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -18,10 +18,23 @@
 from repro.core.analysis import PlacementReport, analyze_placement
 from repro.core.blockmask import BlockMaskIndex, ServerBlockCache
 from repro.core.bounds import gamma_bound, spec_guarantee
-from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.gen import TrimCachingGen
-from repro.core.independent import IndependentCaching
-from repro.core.extras import RandomPlacement, TopPopularityPlacement
+from repro.core.exhaustive import ExhaustiveConfig, ExhaustiveSearch
+from repro.core.gen import GenConfig, TrimCachingGen
+from repro.core.independent import IndependentCaching, IndependentConfig
+from repro.core.extras import (
+    RandomConfig,
+    RandomPlacement,
+    TopPopularityConfig,
+    TopPopularityPlacement,
+)
+from repro.core.reference import (
+    ReferenceGen,
+    ReferenceGenConfig,
+    ReferenceIndependent,
+    ReferenceIndependentConfig,
+    ReferenceSpec,
+    ReferenceSpecConfig,
+)
 from repro.core.objective import (
     CoverageTracker,
     hit_ratio,
@@ -30,7 +43,7 @@ from repro.core.objective import (
 )
 from repro.core.placement import Placement, PlacementInstance
 from repro.core.sparse import SparseFeasibility
-from repro.core.spec import TrimCachingSpec
+from repro.core.spec import SpecConfig, TrimCachingSpec
 
 __all__ = [
     "PlacementInstance",
@@ -48,6 +61,18 @@ __all__ = [
     "ExhaustiveSearch",
     "RandomPlacement",
     "TopPopularityPlacement",
+    "ReferenceGen",
+    "ReferenceIndependent",
+    "ReferenceSpec",
+    "SpecConfig",
+    "GenConfig",
+    "IndependentConfig",
+    "ExhaustiveConfig",
+    "RandomConfig",
+    "TopPopularityConfig",
+    "ReferenceGenConfig",
+    "ReferenceIndependentConfig",
+    "ReferenceSpecConfig",
     "gamma_bound",
     "spec_guarantee",
     "analyze_placement",

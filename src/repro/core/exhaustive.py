@@ -16,6 +16,7 @@ guards itself with explicit limits.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import FrozenSet, List, Sequence, Set, Tuple
 
 import numpy as np
@@ -161,4 +162,22 @@ class ExhaustiveSearch:
                 "subsets_per_server": [len(s) for s in per_server],
                 "combinations": product,
             },
+        )
+
+
+@dataclass(frozen=True)
+class ExhaustiveConfig:
+    """Typed constructor knobs of :class:`ExhaustiveSearch`.
+
+    Registered in :data:`repro.api.SOLVERS` under ``"exhaustive"``.
+    """
+
+    max_subsets_per_server: int = 200_000
+    max_product: int = 5_000_000
+
+    def build(self) -> "ExhaustiveSearch":
+        """Construct the solver (constructor performs validation)."""
+        return ExhaustiveSearch(
+            max_subsets_per_server=self.max_subsets_per_server,
+            max_product=self.max_product,
         )

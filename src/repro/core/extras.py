@@ -9,6 +9,7 @@ everywhere, ignoring the radio feasibility structure).
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import List, Set
 
 import numpy as np
@@ -88,3 +89,33 @@ class TopPopularityPlacement:
             runtime_s=time.perf_counter() - start,
             solver=self.name,
         )
+
+
+@dataclass(frozen=True)
+class RandomConfig:
+    """Typed constructor knobs of :class:`RandomPlacement`.
+
+    Registered in :data:`repro.api.SOLVERS` under ``"random"``. ``seed``
+    is restricted to JSON-safe values (int or None) so plans serialise.
+    """
+
+    seed: int = 0
+    deduplicate: bool = True
+
+    def build(self) -> "RandomPlacement":
+        """Construct the solver."""
+        return RandomPlacement(seed=self.seed, deduplicate=self.deduplicate)
+
+
+@dataclass(frozen=True)
+class TopPopularityConfig:
+    """Typed constructor knobs of :class:`TopPopularityPlacement`.
+
+    Registered in :data:`repro.api.SOLVERS` under ``"top-popularity"``.
+    """
+
+    deduplicate: bool = True
+
+    def build(self) -> "TopPopularityPlacement":
+        """Construct the solver."""
+        return TopPopularityPlacement(deduplicate=self.deduplicate)

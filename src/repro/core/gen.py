@@ -29,6 +29,7 @@ placements against them.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
@@ -211,3 +212,25 @@ class TrimCachingGen:
                 if extras[model_index] <= remaining:
                     placement.add(server, model_index)
                     remaining -= cache.add(server, model_index)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Typed constructor knobs of :class:`TrimCachingGen`.
+
+    Registered in :data:`repro.api.SOLVERS` under ``"gen"``; declarative
+    plans carry this dataclass instead of a constructed solver so they
+    stay JSON-serialisable.
+    """
+
+    accelerated: bool = True
+    fill_zero_gain: bool = False
+    engine: str = "dense"
+
+    def build(self) -> "TrimCachingGen":
+        """Construct the solver (constructor performs validation)."""
+        return TrimCachingGen(
+            accelerated=self.accelerated,
+            fill_zero_gain=self.fill_zero_gain,
+            engine=self.engine,
+        )

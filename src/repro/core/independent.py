@@ -23,6 +23,7 @@ identical by the equivalence tests.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -91,3 +92,17 @@ class IndependentCaching:
             solver=self.name,
             stats={"greedy_steps": steps},
         )
+
+
+@dataclass(frozen=True)
+class IndependentConfig:
+    """Typed constructor knobs of :class:`IndependentCaching`.
+
+    Registered in :data:`repro.api.SOLVERS` under ``"independent"``.
+    """
+
+    engine: str = "dense"
+
+    def build(self) -> "IndependentCaching":
+        """Construct the solver (constructor performs validation)."""
+        return IndependentCaching(engine=self.engine)

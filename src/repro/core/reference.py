@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import math
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
@@ -431,4 +432,53 @@ class ReferenceSpec:
                 "backend": self.backend,
                 "per_server_mass": per_server_mass,
             },
+        )
+
+
+@dataclass(frozen=True)
+class ReferenceGenConfig:
+    """Typed constructor knobs of :class:`ReferenceGen` (seed Gen).
+
+    Registered in :data:`repro.api.SOLVERS` under ``"reference-gen"``.
+    """
+
+    accelerated: bool = True
+
+    def build(self) -> "ReferenceGen":
+        """Construct the solver."""
+        return ReferenceGen(accelerated=self.accelerated)
+
+
+@dataclass(frozen=True)
+class ReferenceIndependentConfig:
+    """Typed constructor knobs of :class:`ReferenceIndependent`.
+
+    Registered in :data:`repro.api.SOLVERS` under
+    ``"reference-independent"``.
+    """
+
+    def build(self) -> "ReferenceIndependent":
+        """Construct the solver."""
+        return ReferenceIndependent()
+
+
+@dataclass(frozen=True)
+class ReferenceSpecConfig:
+    """Typed constructor knobs of :class:`ReferenceSpec` (seed Spec).
+
+    Registered in :data:`repro.api.SOLVERS` under ``"reference-spec"``.
+    """
+
+    epsilon: float = 0.1
+    backend: str = "value_dp"
+    combinations: str = "auto"
+    max_combinations: int = 200_000
+
+    def build(self) -> "ReferenceSpec":
+        """Construct the solver."""
+        return ReferenceSpec(
+            epsilon=self.epsilon,
+            backend=self.backend,
+            combinations=self.combinations,
+            max_combinations=self.max_combinations,
         )

@@ -31,6 +31,7 @@ changing a single output bit:
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -440,4 +441,36 @@ class TrimCachingSpec:
                 "workers": self.workers or 1,
                 "per_server_mass": per_server_mass,
             },
+        )
+
+
+@dataclass(frozen=True)
+class SpecConfig:
+    """Typed constructor knobs of :class:`TrimCachingSpec`.
+
+    Registered in :data:`repro.api.SOLVERS` under ``"spec"``; declarative
+    plans carry this dataclass instead of a constructed solver so they
+    stay JSON-serialisable.
+    """
+
+    epsilon: float = 0.1
+    backend: Optional[str] = None
+    combinations: str = "auto"
+    max_combinations: int = 200_000
+    server_order: str = "index"
+    workers: Optional[int] = None
+    engine: str = "dense"
+    reuse_library_cache: bool = True
+
+    def build(self) -> "TrimCachingSpec":
+        """Construct the solver (constructor performs validation)."""
+        return TrimCachingSpec(
+            epsilon=self.epsilon,
+            backend=self.backend,
+            combinations=self.combinations,
+            max_combinations=self.max_combinations,
+            server_order=self.server_order,
+            workers=self.workers,
+            engine=self.engine,
+            reuse_library_cache=self.reuse_library_cache,
         )

@@ -11,7 +11,13 @@ from repro.sim.latency_report import LatencyAnalyzer, LatencyReport
 from repro.sim.mobility_eval import MobilityStudy
 from repro.sim.replacement import ReplacementPolicy, ReplacementTrace
 from repro.sim.request_sim import RequestLog, RequestSimulator
-from repro.sim.runner import ExperimentResult, SweepRunner
+from repro.sim.runner import (
+    AlgorithmComparison,
+    ExperimentResult,
+    Fig7Result,
+    ReplacementAblation,
+    SweepRunner,
+)
 from repro.sim.scenario import Scenario, build_scenario
 
 __all__ = [
@@ -22,6 +28,9 @@ __all__ = [
     "MobilityStudy",
     "SweepRunner",
     "ExperimentResult",
+    "AlgorithmComparison",
+    "Fig7Result",
+    "ReplacementAblation",
     "ReplacementPolicy",
     "ReplacementTrace",
     "LatencyAnalyzer",

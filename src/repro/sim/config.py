@@ -7,7 +7,7 @@ sensitivity can be tested (see DESIGN.md §4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -107,3 +107,30 @@ class ScenarioConfig:
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """A copy with the given fields replaced (validated again)."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready description (tuples become lists)."""
+        payload = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            payload[f.name] = list(value) if isinstance(value, tuple) else value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioConfig":
+        """Rebuild a config from :meth:`to_dict` output (validated)."""
+        field_names = {f.name for f in fields(cls)}
+        unknown = set(payload) - field_names
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ScenarioConfig fields: {sorted(unknown)}"
+            )
+        kwargs = {}
+        for f in fields(cls):
+            if f.name not in payload:
+                continue
+            value = payload[f.name]
+            if isinstance(value, list):
+                value = tuple(value)
+            kwargs[f.name] = value
+        return cls(**kwargs)

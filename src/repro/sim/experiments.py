@@ -1,9 +1,19 @@
-"""Per-figure/table reproduction entry points.
+"""Per-figure/table reproduction entry points, declared as plans.
 
-Each ``figN_*`` function regenerates the corresponding paper artefact and
-returns a structured result whose ``to_table()`` prints the same rows or
-series the paper plots. Scale knobs (`num_topologies`, evaluation mode)
-default to laptop-friendly values; pass ``num_topologies=100`` and
+Each ``figN_*`` function regenerates the corresponding paper artefact
+and returns a structured result whose ``to_table()`` prints the same
+rows or series the paper plots. Since the declarative experiment API
+landed (:mod:`repro.api`), every solver experiment here is a ~5-line
+:class:`~repro.api.plan.ExperimentPlan` declaration (the ``*_plan``
+functions) executed by the one generic
+:func:`~repro.api.run.run_plan`; the ``figN_*``/``ablation_*``
+callables are thin wrappers kept for backward compatibility. The
+pre-plan implementations are retained verbatim in
+:mod:`repro.sim.legacy` and the equivalence suite asserts the plan path
+reproduces them bit-identically.
+
+Scale knobs (`num_topologies`, evaluation mode) default to
+laptop-friendly values; pass ``num_topologies=100`` and
 ``evaluation="monte_carlo"`` for the paper's full averaging.
 
 Index (see DESIGN.md §3):
@@ -18,27 +28,37 @@ Index (see DESIGN.md §3):
   ratio and runtime against the exhaustive optimum / Spec.
 * :func:`fig7_mobility_robustness` — fixed placement under mobility.
 * ``ablation_*`` — our extra studies of the design decisions.
+
+(Fig. 1 and Table I are deterministic artefact renders — no topologies,
+solvers or seeds — so they are the only entries without a plan form.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.exhaustive import ExhaustiveSearch
-from repro.core.gen import TrimCachingGen
-from repro.core.independent import IndependentCaching
-from repro.core.spec import TrimCachingSpec
+from repro.api.plan import (
+    ExperimentPlan,
+    MobilitySpec,
+    ReplacementSpec,
+    SolverSpec,
+    SweepSpec,
+)
+from repro.api.run import ResultSet, run_plan
+from repro.core.gen import GenConfig
+from repro.core.independent import IndependentConfig
+from repro.core.spec import SpecConfig
 from repro.models.accuracy import ANIMAL_CURVE, TRANSPORTATION_CURVE
 from repro.models.generators import GeneralCaseConfig, build_general_case_library
-from repro.sim.config import ScenarioConfig
-from repro.sim.mobility_eval import MobilityStudy
-from repro.sim.runner import ExperimentResult, SweepRunner
-from repro.sim.scenario import build_scenario
-from repro.utils.rng import RngFactory
-from repro.utils.stats import RunningStats, SeriesStats
+from repro.sim.runner import (  # noqa: F401 — re-exported for back-compat
+    AlgorithmComparison,
+    ExperimentResult,
+    Fig7Result,
+    ReplacementAblation,
+)
 from repro.utils.tables import format_table
 from repro.utils.units import GB
 
@@ -75,19 +95,34 @@ def _scaled_requests(scale: float) -> int:
 # (repro.core.reference), so every figure stays exactly reproducible
 # against earlier revisions. The sparse-primary instances densify lazily
 # here — the price of that pinning; pass engine="sparse"/"auto" (as the
-# sweep benchmark does) to trade it for the O(nnz) engine.
-def _special_algorithms(epsilon: float = 0.1, engine: str = "dense") -> Dict[str, Any]:
-    return {
-        "TrimCaching Spec": TrimCachingSpec(epsilon=epsilon, engine=engine),
-        "TrimCaching Gen": TrimCachingGen(engine=engine),
-        "Independent Caching": IndependentCaching(engine=engine),
-    }
+# sweep benchmark and the ``--engine`` CLI flag do) to trade it for the
+# O(nnz) engine.
+def special_solvers(
+    epsilon: float = 0.1, engine: str = "dense"
+) -> Sequence[SolverSpec]:
+    """The special-case comparison set: Spec vs. Gen vs. Independent."""
+    return (
+        SolverSpec("spec", config=SpecConfig(epsilon=epsilon, engine=engine)),
+        SolverSpec("gen", config=GenConfig(engine=engine)),
+        SolverSpec("independent", config=IndependentConfig(engine=engine)),
+    )
 
 
-def _general_algorithms(engine: str = "dense") -> Dict[str, Any]:
+def general_solvers(engine: str = "dense") -> Sequence[SolverSpec]:
+    """The general-case comparison set: Gen vs. Independent."""
+    return (
+        SolverSpec("gen", config=GenConfig(engine=engine)),
+        SolverSpec("independent", config=IndependentConfig(engine=engine)),
+    )
+
+
+def _paper_base(library_case: str, scale: float, **extra) -> dict:
+    """ScenarioConfig overrides shared by the Figs. 4/5 sweeps."""
     return {
-        "TrimCaching Gen": TrimCachingGen(engine=engine),
-        "Independent Caching": IndependentCaching(engine=engine),
+        "library_case": library_case,
+        "num_models": _scaled_library(scale),
+        "requests_per_user": _scaled_requests(scale),
+        **extra,
     }
 
 
@@ -141,7 +176,7 @@ def fig1_accuracy_vs_frozen(step: int = 10) -> Fig1Result:
 class Table1Result:
     """The general-case construction settings plus realised library stats."""
 
-    groups: Mapping[str, Sequence[str]]
+    groups: dict
     num_models: int
     num_blocks: int
     num_shared_blocks: int
@@ -187,35 +222,31 @@ def table1_library_construction(
 
 
 # ----------------------------------------------------------------------
-# Figs. 4 and 5 — the sweep family
+# Figs. 4 and 5 — the sweep family, as plans
 # ----------------------------------------------------------------------
-def _base_config(library_case: str, **overrides) -> ScenarioConfig:
-    return ScenarioConfig(library_case=library_case).with_overrides(**overrides)
-
-
-def _sweep(
-    name: str,
-    x_label: str,
-    x_values: Sequence[float],
-    config_for,
-    algorithms: Dict[str, Any],
-    base: ScenarioConfig,
-    num_topologies: int,
-    evaluation: str,
-    num_realizations: int,
-    seed: int,
+def fig4a_plan(
+    num_topologies: int = 20,
+    capacities_gb: Sequence[float] = CAPACITY_SWEEP_GB,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
-    runner = SweepRunner(
-        base_config=base,
-        algorithms=algorithms,
+    engine: str = "dense",
+) -> ExperimentPlan:
+    """Fig. 4(a) as a declarative plan."""
+    return ExperimentPlan(
+        name="Fig. 4(a) — special case: cache hit ratio vs. capacity Q",
+        sweep=SweepSpec("capacity", tuple(capacities_gb)),
+        solvers=special_solvers(engine=engine),
+        base=_paper_base("special", scale, num_servers=10),
         num_topologies=num_topologies,
         evaluation=evaluation,
         num_realizations=num_realizations,
         seed=seed,
+        scale=scale,
         workers=workers,
     )
-    return runner.run(name, x_label, x_values, config_for)
 
 
 def fig4a_hit_vs_capacity(
@@ -226,30 +257,49 @@ def fig4a_hit_vs_capacity(
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
+    engine: str = "dense",
+) -> ResultSet:
     """Fig. 4(a): special case, hit ratio vs. capacity (M=10, I=30).
 
     ``capacities_gb`` are the paper's values; both they and the library
     shrink by ``scale`` (see :data:`DEFAULT_SCALE`).
     """
-    base = _base_config(
-        "special",
-        num_servers=10,
-        num_models=_scaled_library(scale),
-        requests_per_user=_scaled_requests(scale),
+    return run_plan(
+        fig4a_plan(
+            num_topologies,
+            capacities_gb,
+            evaluation,
+            num_realizations,
+            seed,
+            scale,
+            workers,
+            engine,
+        )
     )
-    return _sweep(
-        "Fig. 4(a) — special case: cache hit ratio vs. capacity Q",
-        "Q (GB, paper scale)",
-        list(capacities_gb),
-        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * scale * GB)),
-        _special_algorithms(),
-        base,
-        num_topologies,
-        evaluation,
-        num_realizations,
-        seed,
-        workers,
+
+
+def fig4b_plan(
+    num_topologies: int = 20,
+    server_counts: Sequence[int] = SERVER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+    engine: str = "dense",
+) -> ExperimentPlan:
+    """Fig. 4(b) as a declarative plan."""
+    return ExperimentPlan(
+        name="Fig. 4(b) — special case: cache hit ratio vs. number of edge servers M",
+        sweep=SweepSpec("servers", tuple(server_counts)),
+        solvers=special_solvers(engine=engine),
+        base=_paper_base("special", scale, storage_bytes=int(1 * scale * GB)),
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+        scale=scale,
+        workers=workers,
     )
 
 
@@ -261,26 +311,50 @@ def fig4b_hit_vs_servers(
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
+    engine: str = "dense",
+) -> ResultSet:
     """Fig. 4(b): special case, hit ratio vs. M (Q=1 GB, I=30)."""
-    base = _base_config(
-        "special",
-        num_models=_scaled_library(scale),
-        requests_per_user=_scaled_requests(scale),
-        storage_bytes=int(1 * scale * GB),
+    return run_plan(
+        fig4b_plan(
+            num_topologies,
+            server_counts,
+            evaluation,
+            num_realizations,
+            seed,
+            scale,
+            workers,
+            engine,
+        )
     )
-    return _sweep(
-        "Fig. 4(b) — special case: cache hit ratio vs. number of edge servers M",
-        "M",
-        list(server_counts),
-        lambda cfg, m: cfg.with_overrides(num_servers=int(m)),
-        _special_algorithms(),
-        base,
-        num_topologies,
-        evaluation,
-        num_realizations,
-        seed,
-        workers,
+
+
+def fig4c_plan(
+    num_topologies: int = 20,
+    user_counts: Sequence[int] = USER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+    engine: str = "dense",
+) -> ExperimentPlan:
+    """Fig. 4(c) as a declarative plan."""
+    return ExperimentPlan(
+        name="Fig. 4(c) — special case: cache hit ratio vs. number of users K",
+        sweep=SweepSpec("users", tuple(user_counts)),
+        solvers=special_solvers(engine=engine),
+        base=_paper_base(
+            "special",
+            scale,
+            num_servers=10,
+            storage_bytes=int(1 * scale * GB),
+        ),
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+        scale=scale,
+        workers=workers,
     )
 
 
@@ -292,27 +366,45 @@ def fig4c_hit_vs_users(
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
+    engine: str = "dense",
+) -> ResultSet:
     """Fig. 4(c): special case, hit ratio vs. K (Q=1 GB, M=10)."""
-    base = _base_config(
-        "special",
-        num_servers=10,
-        num_models=_scaled_library(scale),
-        requests_per_user=_scaled_requests(scale),
-        storage_bytes=int(1 * scale * GB),
+    return run_plan(
+        fig4c_plan(
+            num_topologies,
+            user_counts,
+            evaluation,
+            num_realizations,
+            seed,
+            scale,
+            workers,
+            engine,
+        )
     )
-    return _sweep(
-        "Fig. 4(c) — special case: cache hit ratio vs. number of users K",
-        "K",
-        list(user_counts),
-        lambda cfg, k: cfg.with_overrides(num_users=int(k)),
-        _special_algorithms(),
-        base,
-        num_topologies,
-        evaluation,
-        num_realizations,
-        seed,
-        workers,
+
+
+def fig5a_plan(
+    num_topologies: int = 20,
+    capacities_gb: Sequence[float] = CAPACITY_SWEEP_GB,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+    engine: str = "dense",
+) -> ExperimentPlan:
+    """Fig. 5(a) as a declarative plan."""
+    return ExperimentPlan(
+        name="Fig. 5(a) — general case: cache hit ratio vs. capacity Q",
+        sweep=SweepSpec("capacity", tuple(capacities_gb)),
+        solvers=general_solvers(engine=engine),
+        base=_paper_base("general", scale, num_servers=10),
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+        scale=scale,
+        workers=workers,
     )
 
 
@@ -324,26 +416,45 @@ def fig5a_hit_vs_capacity(
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
+    engine: str = "dense",
+) -> ResultSet:
     """Fig. 5(a): general case, hit ratio vs. capacity (M=10, I=30)."""
-    base = _base_config(
-        "general",
-        num_servers=10,
-        num_models=_scaled_library(scale),
-        requests_per_user=_scaled_requests(scale),
+    return run_plan(
+        fig5a_plan(
+            num_topologies,
+            capacities_gb,
+            evaluation,
+            num_realizations,
+            seed,
+            scale,
+            workers,
+            engine,
+        )
     )
-    return _sweep(
-        "Fig. 5(a) — general case: cache hit ratio vs. capacity Q",
-        "Q (GB, paper scale)",
-        list(capacities_gb),
-        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * scale * GB)),
-        _general_algorithms(),
-        base,
-        num_topologies,
-        evaluation,
-        num_realizations,
-        seed,
-        workers,
+
+
+def fig5b_plan(
+    num_topologies: int = 20,
+    server_counts: Sequence[int] = SERVER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+    engine: str = "dense",
+) -> ExperimentPlan:
+    """Fig. 5(b) as a declarative plan."""
+    return ExperimentPlan(
+        name="Fig. 5(b) — general case: cache hit ratio vs. number of edge servers M",
+        sweep=SweepSpec("servers", tuple(server_counts)),
+        solvers=general_solvers(engine=engine),
+        base=_paper_base("general", scale, storage_bytes=int(1 * scale * GB)),
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+        scale=scale,
+        workers=workers,
     )
 
 
@@ -355,26 +466,50 @@ def fig5b_hit_vs_servers(
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
+    engine: str = "dense",
+) -> ResultSet:
     """Fig. 5(b): general case, hit ratio vs. M (Q=1 GB, I=30)."""
-    base = _base_config(
-        "general",
-        num_models=_scaled_library(scale),
-        requests_per_user=_scaled_requests(scale),
-        storage_bytes=int(1 * scale * GB),
+    return run_plan(
+        fig5b_plan(
+            num_topologies,
+            server_counts,
+            evaluation,
+            num_realizations,
+            seed,
+            scale,
+            workers,
+            engine,
+        )
     )
-    return _sweep(
-        "Fig. 5(b) — general case: cache hit ratio vs. number of edge servers M",
-        "M",
-        list(server_counts),
-        lambda cfg, m: cfg.with_overrides(num_servers=int(m)),
-        _general_algorithms(),
-        base,
-        num_topologies,
-        evaluation,
-        num_realizations,
-        seed,
-        workers,
+
+
+def fig5c_plan(
+    num_topologies: int = 20,
+    user_counts: Sequence[int] = USER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+    engine: str = "dense",
+) -> ExperimentPlan:
+    """Fig. 5(c) as a declarative plan."""
+    return ExperimentPlan(
+        name="Fig. 5(c) — general case: cache hit ratio vs. number of users K",
+        sweep=SweepSpec("users", tuple(user_counts)),
+        solvers=general_solvers(engine=engine),
+        base=_paper_base(
+            "general",
+            scale,
+            num_servers=10,
+            storage_bytes=int(1 * scale * GB),
+        ),
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+        scale=scale,
+        workers=workers,
     )
 
 
@@ -386,101 +521,45 @@ def fig5c_hit_vs_users(
     seed: int = 0,
     scale: float = DEFAULT_SCALE,
     workers: int = 1,
-) -> ExperimentResult:
+    engine: str = "dense",
+) -> ResultSet:
     """Fig. 5(c): general case, hit ratio vs. K (Q=1 GB, M=10)."""
-    base = _base_config(
-        "general",
-        num_servers=10,
-        num_models=_scaled_library(scale),
-        requests_per_user=_scaled_requests(scale),
-        storage_bytes=int(1 * scale * GB),
-    )
-    return _sweep(
-        "Fig. 5(c) — general case: cache hit ratio vs. number of users K",
-        "K",
-        list(user_counts),
-        lambda cfg, k: cfg.with_overrides(num_users=int(k)),
-        _general_algorithms(),
-        base,
-        num_topologies,
-        evaluation,
-        num_realizations,
-        seed,
-        workers,
+    return run_plan(
+        fig5c_plan(
+            num_topologies,
+            user_counts,
+            evaluation,
+            num_realizations,
+            seed,
+            scale,
+            workers,
+            engine,
+        )
     )
 
 
 # ----------------------------------------------------------------------
-# Fig. 6 — optimality gap and runtime
+# Fig. 6 — optimality gap and runtime, as comparison plans
 # ----------------------------------------------------------------------
-@dataclass
-class AlgorithmComparison:
-    """Hit ratio + runtime per algorithm (one Fig. 6 panel)."""
-
-    name: str
-    hit_ratios: Dict[str, RunningStats]
-    runtimes: Dict[str, RunningStats]
-    metadata: Dict[str, Any] = field(default_factory=dict)
-
-    def mean_hit(self, algorithm: str) -> float:
-        """Mean hit ratio of one algorithm."""
-        return self.hit_ratios[algorithm].mean
-
-    def mean_runtime(self, algorithm: str) -> float:
-        """Mean wall-clock runtime of one algorithm."""
-        return self.runtimes[algorithm].mean
-
-    def speedup(self, fast: str, slow: str) -> float:
-        """How many times faster ``fast`` is than ``slow``."""
-        fast_time = self.mean_runtime(fast)
-        if fast_time == 0:
-            return float("inf")
-        return self.mean_runtime(slow) / fast_time
-
-    def to_table(self) -> str:
-        """Rows: algorithm, mean/std hit ratio, mean runtime."""
-        rows = []
-        for algorithm in self.hit_ratios:
-            rows.append(
-                [
-                    algorithm,
-                    self.hit_ratios[algorithm].mean,
-                    self.hit_ratios[algorithm].std,
-                    f"{self.runtimes[algorithm].mean:.3e}",
-                ]
-            )
-        return format_table(
-            ["algorithm", "hit ratio (mean)", "hit ratio (std)", "runtime (s)"],
-            rows,
-            title=self.name,
-        )
-
-
-def _compare_algorithms(
-    name: str,
-    config: ScenarioConfig,
-    algorithms: Dict[str, Any],
-    num_topologies: int,
-    seed: int,
-) -> AlgorithmComparison:
-    hit_ratios = {algo: RunningStats() for algo in algorithms}
-    runtimes = {algo: RunningStats() for algo in algorithms}
-    factory = RngFactory(seed)
-    library = None
-    for topology_index in range(num_topologies):
-        scenario = build_scenario(
-            config, hash((seed, topology_index)) % (2**31), library=library
-        )
-        library = scenario.library  # fixed across topologies
-        for algo_name, solver in algorithms.items():
-            result = solver.solve(scenario.instance)
-            hit_ratios[algo_name].add(result.hit_ratio)
-            runtimes[algo_name].add(result.runtime_s)
-    return AlgorithmComparison(
-        name=name,
-        hit_ratios=hit_ratios,
-        runtimes=runtimes,
-        metadata={"config": config, "num_topologies": num_topologies},
+def fig6a_plan(num_topologies: int = 10, seed: int = 0) -> ExperimentPlan:
+    """Fig. 6(a) as a declarative (comparison) plan."""
+    return ExperimentPlan(
+        name="Fig. 6(a) — special case: hit ratio and runtime vs. optimal",
+        solvers=(
+            SolverSpec("exhaustive"),
+            SolverSpec("spec", config=SpecConfig(epsilon=0.0)),
+            SolverSpec("gen"),
+        ),
+        base={
+            "library_case": "special",
+            "num_servers": 2,
+            "num_users": 6,
+            "num_models": 9,
+            "area_side_m": 400.0,
+            "storage_bytes": int(0.1 * GB),
+        },
+        num_topologies=num_topologies,
+        seed=seed,
     )
 
 
@@ -492,25 +571,30 @@ def fig6a_optimality_gap(
     Paper setting: 400 m area, M=2, K=6, Q=0.1 GB, special-case library
     with 9 models requested per user.
     """
-    config = ScenarioConfig(
-        library_case="special",
-        num_servers=2,
-        num_users=6,
-        num_models=9,
-        area_side_m=400.0,
-        storage_bytes=int(0.1 * GB),
-    )
-    algorithms = {
-        "Optimal (exhaustive)": ExhaustiveSearch(),
-        "TrimCaching Spec": TrimCachingSpec(epsilon=0.0),
-        "TrimCaching Gen": TrimCachingGen(),
-    }
-    return _compare_algorithms(
-        "Fig. 6(a) — special case: hit ratio and runtime vs. optimal",
-        config,
-        algorithms,
-        num_topologies,
-        seed,
+    return run_plan(fig6a_plan(num_topologies, seed)).comparison()
+
+
+def fig6b_plan(num_topologies: int = 5, seed: int = 0) -> ExperimentPlan:
+    """Fig. 6(b) as a declarative (comparison) plan."""
+    return ExperimentPlan(
+        name="Fig. 6(b) — general case: Spec vs. Gen runtime",
+        solvers=(
+            SolverSpec(
+                "spec",
+                config=SpecConfig(epsilon=0.0, max_combinations=50_000_000),
+            ),
+            SolverSpec("gen"),
+        ),
+        base={
+            "library_case": "general",
+            "num_servers": 2,
+            "num_users": 6,
+            "num_models": 27,
+            "area_side_m": 400.0,
+            "storage_bytes": int(0.2 * GB),
+        },
+        num_topologies=num_topologies,
+        seed=seed,
     )
 
 
@@ -522,60 +606,37 @@ def fig6b_runtime_general(
     Paper setting: Q=0.2 GB, 27 models per user; Spec's combination
     traversal is exponential here, demonstrating why Gen exists.
     """
-    config = ScenarioConfig(
-        library_case="general",
-        num_servers=2,
-        num_users=6,
-        num_models=27,
-        area_side_m=400.0,
-        storage_bytes=int(0.2 * GB),
-    )
-    algorithms = {
-        "TrimCaching Spec": TrimCachingSpec(
-            epsilon=0.0, max_combinations=50_000_000
+    return run_plan(fig6b_plan(num_topologies, seed)).comparison()
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — mobility robustness, as a study plan
+# ----------------------------------------------------------------------
+def fig7_plan(
+    num_runs: int = 5,
+    horizon_s: float = 7200.0,
+    sample_every: int = 60,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """Fig. 7 as a declarative (mobility-study) plan."""
+    return ExperimentPlan(
+        name="Fig. 7 — cache hit ratio over time (mobility)",
+        solvers=(
+            SolverSpec("spec", config=SpecConfig(epsilon=0.1)),
+            SolverSpec("gen"),
         ),
-        "TrimCaching Gen": TrimCachingGen(),
-    }
-    return _compare_algorithms(
-        "Fig. 6(b) — general case: Spec vs. Gen runtime",
-        config,
-        algorithms,
-        num_topologies,
-        seed,
+        study=MobilitySpec(
+            horizon_s=horizon_s, sample_every=sample_every, num_runs=num_runs
+        ),
+        base={
+            "library_case": "special",
+            "num_servers": 10,
+            "num_users": 10,
+            "num_models": 30,
+            "storage_bytes": 1 * GB,
+        },
+        seed=seed,
     )
-
-
-# ----------------------------------------------------------------------
-# Fig. 7 — mobility robustness
-# ----------------------------------------------------------------------
-@dataclass
-class Fig7Result:
-    """Hit-ratio time series per algorithm under user mobility."""
-
-    times_s: np.ndarray
-    series: Dict[str, SeriesStats]
-
-    def degradation(self, algorithm: str) -> float:
-        """Relative hit-ratio drop from t=0 to the horizon end."""
-        means = self.series[algorithm].means
-        if means[0] == 0:
-            return 0.0
-        return float((means[0] - means[-1]) / means[0])
-
-    def to_table(self) -> str:
-        """Rows: time (min), one mean column per algorithm."""
-        algorithms = list(self.series)
-        headers = ["time (min)"] + algorithms
-        rows = []
-        for index, t in enumerate(self.times_s):
-            row: List[Any] = [float(t / 60.0)]
-            row.extend(
-                float(self.series[algo].means[index]) for algo in algorithms
-            )
-            rows.append(row)
-        return format_table(
-            headers, rows, title="Fig. 7 — cache hit ratio over time (mobility)"
-        )
 
 
 def fig7_mobility_robustness(
@@ -589,58 +650,69 @@ def fig7_mobility_robustness(
     Paper setting: M=10, K=10, Q=1 GB, special case; pedestrian/bike/
     vehicle users, 5 s slots.
     """
-    config = ScenarioConfig(
-        library_case="special",
-        num_servers=10,
-        num_users=10,
-        num_models=30,
-        storage_bytes=1 * GB,
+    return run_plan(
+        fig7_plan(num_runs, horizon_s, sample_every, seed)
+    ).mobility()
+
+
+# ----------------------------------------------------------------------
+# Ablations (ours), as plans
+# ----------------------------------------------------------------------
+def ablation_epsilon_plan(
+    epsilons: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.5, 0.9),
+    num_topologies: int = 5,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """Spec ε ablation as a declarative plan."""
+    solvers = tuple(
+        SolverSpec("spec", label=f"Spec (eps={eps})", config=SpecConfig(epsilon=eps))
+        for eps in epsilons
+    ) + (
+        SolverSpec("spec", label="Spec (exact)", config=SpecConfig(epsilon=0.0)),
     )
-    algorithms = {
-        "TrimCaching Spec": TrimCachingSpec(epsilon=0.1),
-        "TrimCaching Gen": TrimCachingGen(),
-    }
-    times: Optional[np.ndarray] = None
-    series: Dict[str, SeriesStats] = {}
-    for run_index in range(num_runs):
-        scenario = build_scenario(config, hash((seed, run_index)) % (2**31))
-        study = MobilityStudy(scenario, sample_every=sample_every)
-        for algo_name, solver in algorithms.items():
-            result = solver.solve(scenario.instance)
-            trace = study.run(
-                result.placement, horizon_s=horizon_s, seed=(seed, run_index)
-            )
-            if times is None:
-                times = trace.times_s
-            if algo_name not in series:
-                series[algo_name] = SeriesStats(times.tolist())
-            series[algo_name].add_run(trace.hit_ratios.tolist())
-    assert times is not None
-    return Fig7Result(times_s=times, series=series)
+    return ExperimentPlan(
+        name="Ablation — Spec rounding parameter ε",
+        solvers=solvers,
+        base={
+            "library_case": "special",
+            "num_servers": 4,
+            "num_users": 12,
+            "num_models": 12,
+        },
+        num_topologies=num_topologies,
+        seed=seed,
+    )
 
 
-# ----------------------------------------------------------------------
-# Ablations (ours)
-# ----------------------------------------------------------------------
 def ablation_epsilon(
     epsilons: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.5, 0.9),
     num_topologies: int = 5,
     seed: int = 0,
 ) -> AlgorithmComparison:
     """Hit ratio / runtime of Spec across the rounding parameter ε."""
-    config = ScenarioConfig(
-        library_case="special", num_servers=4, num_users=12, num_models=12
-    )
-    algorithms: Dict[str, Any] = {
-        f"Spec (eps={eps})": TrimCachingSpec(epsilon=eps) for eps in epsilons
-    }
-    algorithms["Spec (exact)"] = TrimCachingSpec(epsilon=0.0)
-    return _compare_algorithms(
-        "Ablation — Spec rounding parameter ε",
-        config,
-        algorithms,
-        num_topologies,
-        seed,
+    return run_plan(
+        ablation_epsilon_plan(epsilons, num_topologies, seed)
+    ).comparison()
+
+
+def ablation_lazy_greedy_plan(
+    num_topologies: int = 5, seed: int = 0
+) -> ExperimentPlan:
+    """Lazy-vs-naive Gen ablation as a declarative plan."""
+    return ExperimentPlan(
+        name="Ablation — lazy vs. naive greedy",
+        solvers=(
+            SolverSpec("gen", label="Gen (lazy)", config=GenConfig(accelerated=True)),
+            SolverSpec("gen", label="Gen (naive)", config=GenConfig(accelerated=False)),
+        ),
+        base={
+            "library_case": "special",
+            "num_servers": 8,
+            "num_users": 20,
+            "num_models": 30,
+        },
+        num_topologies=num_topologies,
+        seed=seed,
     )
 
 
@@ -648,19 +720,31 @@ def ablation_lazy_greedy(
     num_topologies: int = 5, seed: int = 0
 ) -> AlgorithmComparison:
     """Lazy vs. naive Gen greedy: identical quality, different runtime."""
-    config = ScenarioConfig(
-        library_case="special", num_servers=8, num_users=20, num_models=30
-    )
-    algorithms = {
-        "Gen (lazy)": TrimCachingGen(accelerated=True),
-        "Gen (naive)": TrimCachingGen(accelerated=False),
-    }
-    return _compare_algorithms(
-        "Ablation — lazy vs. naive greedy",
-        config,
-        algorithms,
-        num_topologies,
-        seed,
+    return run_plan(ablation_lazy_greedy_plan(num_topologies, seed)).comparison()
+
+
+def ablation_server_order_plan(
+    num_topologies: int = 5, seed: int = 0
+) -> ExperimentPlan:
+    """Spec server-order ablation as a declarative plan."""
+    return ExperimentPlan(
+        name="Ablation — successive-greedy server order",
+        solvers=tuple(
+            SolverSpec(
+                "spec",
+                label=f"Spec (order={order})",
+                config=SpecConfig(epsilon=0.1, server_order=order),
+            )
+            for order in ("index", "capacity", "coverage")
+        ),
+        base={
+            "library_case": "special",
+            "num_servers": 6,
+            "num_users": 15,
+            "num_models": 15,
+        },
+        num_topologies=num_topologies,
+        seed=seed,
     )
 
 
@@ -668,53 +752,34 @@ def ablation_server_order(
     num_topologies: int = 5, seed: int = 0
 ) -> AlgorithmComparison:
     """Spec's successive-greedy server ordering strategies."""
-    config = ScenarioConfig(
-        library_case="special", num_servers=6, num_users=15, num_models=15
+    return run_plan(ablation_server_order_plan(num_topologies, seed)).comparison()
+
+
+def ablation_replacement_plan(
+    thresholds: Sequence[float] = (0.0, 0.8, 0.9, 1.0),
+    num_runs: int = 3,
+    horizon_s: float = 7200.0,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """§IV-A re-placement ablation as a declarative (study) plan."""
+    return ExperimentPlan(
+        name="Ablation — threshold-triggered re-placement (2 h horizon)",
+        solvers=(SolverSpec("gen"),),
+        study=ReplacementSpec(
+            thresholds=tuple(thresholds),
+            num_runs=num_runs,
+            horizon_s=horizon_s,
+            check_every=12,
+        ),
+        base={
+            "library_case": "special",
+            "num_servers": 4,
+            "num_users": 10,
+            "num_models": 15,
+            "storage_bytes": 150_000_000,
+        },
+        seed=seed,
     )
-    algorithms = {
-        f"Spec (order={order})": TrimCachingSpec(epsilon=0.1, server_order=order)
-        for order in ("index", "capacity", "coverage")
-    }
-    return _compare_algorithms(
-        "Ablation — successive-greedy server order",
-        config,
-        algorithms,
-        num_topologies,
-        seed,
-    )
-
-
-@dataclass
-class ReplacementAblation:
-    """Per-threshold outcome of the §IV-A re-placement loop."""
-
-    thresholds: Sequence[float]
-    mean_hit: Dict[float, RunningStats]
-    replacements: Dict[float, RunningStats]
-    bytes_shipped: Dict[float, RunningStats]
-
-    def to_table(self) -> str:
-        """Rows: threshold, time-avg hit ratio, replacements, traffic."""
-        rows = []
-        for threshold in self.thresholds:
-            rows.append(
-                [
-                    "never" if threshold == 0 else f"{threshold:.2f}",
-                    self.mean_hit[threshold].mean,
-                    self.replacements[threshold].mean,
-                    f"{self.bytes_shipped[threshold].mean / 1e6:.0f} MB",
-                ]
-            )
-        return format_table(
-            [
-                "replace when below",
-                "time-avg hit ratio",
-                "replacements",
-                "backbone traffic",
-            ],
-            rows,
-            title="Ablation — threshold-triggered re-placement (2 h horizon)",
-        )
 
 
 def ablation_replacement(
@@ -724,33 +789,42 @@ def ablation_replacement(
     seed: int = 0,
 ) -> ReplacementAblation:
     """§IV-A extension: hit ratio vs. backbone cost of re-placement."""
-    from repro.sim.replacement import ReplacementPolicy
+    return run_plan(
+        ablation_replacement_plan(thresholds, num_runs, horizon_s, seed)
+    ).replacement()
 
-    config = ScenarioConfig(
-        library_case="special",
-        num_servers=4,
-        num_users=10,
-        num_models=15,
-        storage_bytes=150_000_000,
-    )
-    mean_hit = {t: RunningStats() for t in thresholds}
-    replacements = {t: RunningStats() for t in thresholds}
-    bytes_shipped = {t: RunningStats() for t in thresholds}
-    for run_index in range(num_runs):
-        scenario = build_scenario(config, hash((seed, run_index)) % (2**31))
-        for threshold in thresholds:
-            policy = ReplacementPolicy(
-                scenario, TrimCachingGen(), threshold=threshold, check_every=12
-            )
-            trace = policy.run(horizon_s=horizon_s, seed=(seed, run_index))
-            mean_hit[threshold].add(trace.mean_hit_ratio)
-            replacements[threshold].add(trace.num_replacements)
-            bytes_shipped[threshold].add(trace.total_bytes_shipped)
-    return ReplacementAblation(
-        thresholds=list(thresholds),
-        mean_hit=mean_hit,
-        replacements=replacements,
-        bytes_shipped=bytes_shipped,
+
+def ablation_dp_backend_plan(
+    num_topologies: int = 5, seed: int = 0
+) -> ExperimentPlan:
+    """Spec knapsack-backend ablation as a declarative plan."""
+    return ExperimentPlan(
+        name="Ablation — Spec knapsack backend",
+        solvers=(
+            SolverSpec(
+                "spec",
+                label="Spec (value_dp)",
+                config=SpecConfig(epsilon=0.1, backend="value_dp"),
+            ),
+            SolverSpec(
+                "spec",
+                label="Spec (weight_dp)",
+                config=SpecConfig(epsilon=0.1, backend="weight_dp"),
+            ),
+            SolverSpec(
+                "spec",
+                label="Spec (exact)",
+                config=SpecConfig(epsilon=0.0, backend="exact"),
+            ),
+        ),
+        base={
+            "library_case": "special",
+            "num_servers": 4,
+            "num_users": 12,
+            "num_models": 12,
+        },
+        num_topologies=num_topologies,
+        seed=seed,
     )
 
 
@@ -758,18 +832,25 @@ def ablation_dp_backend(
     num_topologies: int = 5, seed: int = 0
 ) -> AlgorithmComparison:
     """Value-DP vs. weight-DP vs. exact knapsack backends inside Spec."""
-    config = ScenarioConfig(
-        library_case="special", num_servers=4, num_users=12, num_models=12
-    )
-    algorithms = {
-        "Spec (value_dp)": TrimCachingSpec(epsilon=0.1, backend="value_dp"),
-        "Spec (weight_dp)": TrimCachingSpec(epsilon=0.1, backend="weight_dp"),
-        "Spec (exact)": TrimCachingSpec(epsilon=0.0, backend="exact"),
-    }
-    return _compare_algorithms(
-        "Ablation — Spec knapsack backend",
-        config,
-        algorithms,
-        num_topologies,
-        seed,
-    )
+    return run_plan(ablation_dp_backend_plan(num_topologies, seed)).comparison()
+
+
+#: The canonical index of figure/ablation plan builders (README's
+#: migration map and the registry-drift tests iterate it; a future
+#: ``sweep --plan`` CLI shortcut would resolve names here).
+PLAN_BUILDERS = {
+    "fig4a": fig4a_plan,
+    "fig4b": fig4b_plan,
+    "fig4c": fig4c_plan,
+    "fig5a": fig5a_plan,
+    "fig5b": fig5b_plan,
+    "fig5c": fig5c_plan,
+    "fig6a": fig6a_plan,
+    "fig6b": fig6b_plan,
+    "fig7": fig7_plan,
+    "ablation-epsilon": ablation_epsilon_plan,
+    "ablation-lazy": ablation_lazy_greedy_plan,
+    "ablation-order": ablation_server_order_plan,
+    "ablation-replacement": ablation_replacement_plan,
+    "ablation-backend": ablation_dp_backend_plan,
+}

@@ -1,0 +1,515 @@
+"""Pre-plan-API figure implementations, retained as equivalence anchors.
+
+These are the per-figure functions exactly as they existed before the
+declarative experiment API (``repro.api``): hand-wired solver dicts and
+one hard-coded function per paper panel. They are **not** the public
+entry points any more — :mod:`repro.sim.experiments` now declares each
+figure as an :class:`~repro.api.plan.ExperimentPlan` — but they are kept
+verbatim so the equivalence suite (``tests/api/test_plan_equivalence.py``)
+can assert, for every migrated figure, that the plan path produces
+bit-identical hit-ratio series at a fixed seed.
+
+Do not "improve" this module: its value is that it does not change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exhaustive import ExhaustiveSearch
+from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
+from repro.core.spec import TrimCachingSpec
+from repro.sim.config import ScenarioConfig
+from repro.sim.experiments import (
+    CAPACITY_SWEEP_GB,
+    DEFAULT_SCALE,
+    SERVER_SWEEP,
+    USER_SWEEP,
+    _scaled_library,
+    _scaled_requests,
+)
+from repro.sim.mobility_eval import MobilityStudy
+from repro.sim.runner import (
+    AlgorithmComparison,
+    ExperimentResult,
+    Fig7Result,
+    ReplacementAblation,
+    SweepRunner,
+)
+from repro.sim.scenario import build_scenario
+from repro.utils.rng import RngFactory
+from repro.utils.stats import RunningStats, SeriesStats
+from repro.utils.units import GB
+
+
+def _special_algorithms(epsilon: float = 0.1, engine: str = "dense") -> Dict[str, Any]:
+    return {
+        "TrimCaching Spec": TrimCachingSpec(epsilon=epsilon, engine=engine),
+        "TrimCaching Gen": TrimCachingGen(engine=engine),
+        "Independent Caching": IndependentCaching(engine=engine),
+    }
+
+
+def _general_algorithms(engine: str = "dense") -> Dict[str, Any]:
+    return {
+        "TrimCaching Gen": TrimCachingGen(engine=engine),
+        "Independent Caching": IndependentCaching(engine=engine),
+    }
+
+
+def _base_config(library_case: str, **overrides) -> ScenarioConfig:
+    return ScenarioConfig(library_case=library_case).with_overrides(**overrides)
+
+
+def _sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    config_for,
+    algorithms: Dict[str, Any],
+    base: ScenarioConfig,
+    num_topologies: int,
+    evaluation: str,
+    num_realizations: int,
+    seed: int,
+    workers: int = 1,
+) -> ExperimentResult:
+    runner = SweepRunner(
+        base_config=base,
+        algorithms=algorithms,
+        num_topologies=num_topologies,
+        evaluation=evaluation,
+        num_realizations=num_realizations,
+        seed=seed,
+        workers=workers,
+    )
+    return runner.run(name, x_label, x_values, config_for)
+
+
+def fig4a_hit_vs_capacity(
+    num_topologies: int = 20,
+    capacities_gb: Sequence[float] = CAPACITY_SWEEP_GB,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fig. 4(a), pre-plan implementation."""
+    base = _base_config(
+        "special",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+    )
+    return _sweep(
+        "Fig. 4(a) — special case: cache hit ratio vs. capacity Q",
+        "Q (GB, paper scale)",
+        list(capacities_gb),
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * scale * GB)),
+        _special_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+        workers,
+    )
+
+
+def fig4b_hit_vs_servers(
+    num_topologies: int = 20,
+    server_counts: Sequence[int] = SERVER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fig. 4(b), pre-plan implementation."""
+    base = _base_config(
+        "special",
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 4(b) — special case: cache hit ratio vs. number of edge servers M",
+        "M",
+        list(server_counts),
+        lambda cfg, m: cfg.with_overrides(num_servers=int(m)),
+        _special_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+        workers,
+    )
+
+
+def fig4c_hit_vs_users(
+    num_topologies: int = 20,
+    user_counts: Sequence[int] = USER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fig. 4(c), pre-plan implementation."""
+    base = _base_config(
+        "special",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 4(c) — special case: cache hit ratio vs. number of users K",
+        "K",
+        list(user_counts),
+        lambda cfg, k: cfg.with_overrides(num_users=int(k)),
+        _special_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+        workers,
+    )
+
+
+def fig5a_hit_vs_capacity(
+    num_topologies: int = 20,
+    capacities_gb: Sequence[float] = CAPACITY_SWEEP_GB,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fig. 5(a), pre-plan implementation."""
+    base = _base_config(
+        "general",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+    )
+    return _sweep(
+        "Fig. 5(a) — general case: cache hit ratio vs. capacity Q",
+        "Q (GB, paper scale)",
+        list(capacities_gb),
+        lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * scale * GB)),
+        _general_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+        workers,
+    )
+
+
+def fig5b_hit_vs_servers(
+    num_topologies: int = 20,
+    server_counts: Sequence[int] = SERVER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fig. 5(b), pre-plan implementation."""
+    base = _base_config(
+        "general",
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 5(b) — general case: cache hit ratio vs. number of edge servers M",
+        "M",
+        list(server_counts),
+        lambda cfg, m: cfg.with_overrides(num_servers=int(m)),
+        _general_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+        workers,
+    )
+
+
+def fig5c_hit_vs_users(
+    num_topologies: int = 20,
+    user_counts: Sequence[int] = USER_SWEEP,
+    evaluation: str = "expected",
+    num_realizations: int = 200,
+    seed: int = 0,
+    scale: float = DEFAULT_SCALE,
+    workers: int = 1,
+) -> ExperimentResult:
+    """Fig. 5(c), pre-plan implementation."""
+    base = _base_config(
+        "general",
+        num_servers=10,
+        num_models=_scaled_library(scale),
+        requests_per_user=_scaled_requests(scale),
+        storage_bytes=int(1 * scale * GB),
+    )
+    return _sweep(
+        "Fig. 5(c) — general case: cache hit ratio vs. number of users K",
+        "K",
+        list(user_counts),
+        lambda cfg, k: cfg.with_overrides(num_users=int(k)),
+        _general_algorithms(),
+        base,
+        num_topologies,
+        evaluation,
+        num_realizations,
+        seed,
+        workers,
+    )
+
+
+def _compare_algorithms(
+    name: str,
+    config: ScenarioConfig,
+    algorithms: Dict[str, Any],
+    num_topologies: int,
+    seed: int,
+) -> AlgorithmComparison:
+    hit_ratios = {algo: RunningStats() for algo in algorithms}
+    runtimes = {algo: RunningStats() for algo in algorithms}
+    factory = RngFactory(seed)
+    library = None
+    for topology_index in range(num_topologies):
+        scenario = build_scenario(
+            config, hash((seed, topology_index)) % (2**31), library=library
+        )
+        library = scenario.library  # fixed across topologies
+        for algo_name, solver in algorithms.items():
+            result = solver.solve(scenario.instance)
+            hit_ratios[algo_name].add(result.hit_ratio)
+            runtimes[algo_name].add(result.runtime_s)
+    return AlgorithmComparison(
+        name=name,
+        hit_ratios=hit_ratios,
+        runtimes=runtimes,
+        metadata={"config": config, "num_topologies": num_topologies},
+    )
+
+
+def fig6a_optimality_gap(
+    num_topologies: int = 10, seed: int = 0
+) -> AlgorithmComparison:
+    """Fig. 6(a), pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="special",
+        num_servers=2,
+        num_users=6,
+        num_models=9,
+        area_side_m=400.0,
+        storage_bytes=int(0.1 * GB),
+    )
+    algorithms = {
+        "Optimal (exhaustive)": ExhaustiveSearch(),
+        "TrimCaching Spec": TrimCachingSpec(epsilon=0.0),
+        "TrimCaching Gen": TrimCachingGen(),
+    }
+    return _compare_algorithms(
+        "Fig. 6(a) — special case: hit ratio and runtime vs. optimal",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def fig6b_runtime_general(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Fig. 6(b), pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="general",
+        num_servers=2,
+        num_users=6,
+        num_models=27,
+        area_side_m=400.0,
+        storage_bytes=int(0.2 * GB),
+    )
+    algorithms = {
+        "TrimCaching Spec": TrimCachingSpec(
+            epsilon=0.0, max_combinations=50_000_000
+        ),
+        "TrimCaching Gen": TrimCachingGen(),
+    }
+    return _compare_algorithms(
+        "Fig. 6(b) — general case: Spec vs. Gen runtime",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def fig7_mobility_robustness(
+    num_runs: int = 5,
+    horizon_s: float = 7200.0,
+    sample_every: int = 60,
+    seed: int = 0,
+) -> Fig7Result:
+    """Fig. 7, pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="special",
+        num_servers=10,
+        num_users=10,
+        num_models=30,
+        storage_bytes=1 * GB,
+    )
+    algorithms = {
+        "TrimCaching Spec": TrimCachingSpec(epsilon=0.1),
+        "TrimCaching Gen": TrimCachingGen(),
+    }
+    times: Optional[np.ndarray] = None
+    series: Dict[str, SeriesStats] = {}
+    for run_index in range(num_runs):
+        scenario = build_scenario(config, hash((seed, run_index)) % (2**31))
+        study = MobilityStudy(scenario, sample_every=sample_every)
+        for algo_name, solver in algorithms.items():
+            result = solver.solve(scenario.instance)
+            trace = study.run(
+                result.placement, horizon_s=horizon_s, seed=(seed, run_index)
+            )
+            if times is None:
+                times = trace.times_s
+            if algo_name not in series:
+                series[algo_name] = SeriesStats(times.tolist())
+            series[algo_name].add_run(trace.hit_ratios.tolist())
+    assert times is not None
+    return Fig7Result(times_s=times, series=series)
+
+
+def ablation_epsilon(
+    epsilons: Sequence[float] = (0.01, 0.05, 0.1, 0.2, 0.5, 0.9),
+    num_topologies: int = 5,
+    seed: int = 0,
+) -> AlgorithmComparison:
+    """Spec ε ablation, pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=4, num_users=12, num_models=12
+    )
+    algorithms: Dict[str, Any] = {
+        f"Spec (eps={eps})": TrimCachingSpec(epsilon=eps) for eps in epsilons
+    }
+    algorithms["Spec (exact)"] = TrimCachingSpec(epsilon=0.0)
+    return _compare_algorithms(
+        "Ablation — Spec rounding parameter ε",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def ablation_lazy_greedy(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Lazy-vs-naive Gen ablation, pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=8, num_users=20, num_models=30
+    )
+    algorithms = {
+        "Gen (lazy)": TrimCachingGen(accelerated=True),
+        "Gen (naive)": TrimCachingGen(accelerated=False),
+    }
+    return _compare_algorithms(
+        "Ablation — lazy vs. naive greedy",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def ablation_server_order(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Spec server-order ablation, pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=6, num_users=15, num_models=15
+    )
+    algorithms = {
+        f"Spec (order={order})": TrimCachingSpec(epsilon=0.1, server_order=order)
+        for order in ("index", "capacity", "coverage")
+    }
+    return _compare_algorithms(
+        "Ablation — successive-greedy server order",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )
+
+
+def ablation_replacement(
+    thresholds: Sequence[float] = (0.0, 0.8, 0.9, 1.0),
+    num_runs: int = 3,
+    horizon_s: float = 7200.0,
+    seed: int = 0,
+) -> ReplacementAblation:
+    """§IV-A re-placement ablation, pre-plan implementation."""
+    from repro.sim.replacement import ReplacementPolicy
+
+    config = ScenarioConfig(
+        library_case="special",
+        num_servers=4,
+        num_users=10,
+        num_models=15,
+        storage_bytes=150_000_000,
+    )
+    mean_hit = {t: RunningStats() for t in thresholds}
+    replacements = {t: RunningStats() for t in thresholds}
+    bytes_shipped = {t: RunningStats() for t in thresholds}
+    for run_index in range(num_runs):
+        scenario = build_scenario(config, hash((seed, run_index)) % (2**31))
+        for threshold in thresholds:
+            policy = ReplacementPolicy(
+                scenario, TrimCachingGen(), threshold=threshold, check_every=12
+            )
+            trace = policy.run(horizon_s=horizon_s, seed=(seed, run_index))
+            mean_hit[threshold].add(trace.mean_hit_ratio)
+            replacements[threshold].add(trace.num_replacements)
+            bytes_shipped[threshold].add(trace.total_bytes_shipped)
+    return ReplacementAblation(
+        thresholds=list(thresholds),
+        mean_hit=mean_hit,
+        replacements=replacements,
+        bytes_shipped=bytes_shipped,
+    )
+
+
+def ablation_dp_backend(
+    num_topologies: int = 5, seed: int = 0
+) -> AlgorithmComparison:
+    """Spec knapsack-backend ablation, pre-plan implementation."""
+    config = ScenarioConfig(
+        library_case="special", num_servers=4, num_users=12, num_models=12
+    )
+    algorithms = {
+        "Spec (value_dp)": TrimCachingSpec(epsilon=0.1, backend="value_dp"),
+        "Spec (weight_dp)": TrimCachingSpec(epsilon=0.1, backend="weight_dp"),
+        "Spec (exact)": TrimCachingSpec(epsilon=0.0, backend="exact"),
+    }
+    return _compare_algorithms(
+        "Ablation — Spec knapsack backend",
+        config,
+        algorithms,
+        num_topologies,
+        seed,
+    )

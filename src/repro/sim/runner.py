@@ -32,7 +32,7 @@ from repro.core.result import SolverResult
 from repro.sim.config import ScenarioConfig
 from repro.sim.evaluator import PlacementEvaluator
 from repro.sim.scenario import Scenario, build_scenario
-from repro.utils.stats import SeriesStats
+from repro.utils.stats import RunningStats, SeriesStats
 from repro.utils.tables import format_table
 
 #: An algorithm is anything with ``solve(instance) -> SolverResult``.
@@ -68,6 +68,116 @@ class ExperimentResult:
                 row.extend([float(stats.means[index]), float(stats.stds[index])])
             rows.append(row)
         return format_table(headers, rows, float_format=float_format, title=self.name)
+
+
+@dataclass
+class AlgorithmComparison:
+    """Hit ratio + runtime per algorithm at one fixed setting.
+
+    The shape of the Fig. 6 panels and the point ablations: no sweep
+    axis, one accumulator pair per algorithm.
+    """
+
+    name: str
+    hit_ratios: Dict[str, RunningStats]
+    runtimes: Dict[str, RunningStats]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def mean_hit(self, algorithm: str) -> float:
+        """Mean hit ratio of one algorithm."""
+        return self.hit_ratios[algorithm].mean
+
+    def mean_runtime(self, algorithm: str) -> float:
+        """Mean wall-clock runtime of one algorithm."""
+        return self.runtimes[algorithm].mean
+
+    def speedup(self, fast: str, slow: str) -> float:
+        """How many times faster ``fast`` is than ``slow``."""
+        fast_time = self.mean_runtime(fast)
+        if fast_time == 0:
+            return float("inf")
+        return self.mean_runtime(slow) / fast_time
+
+    def to_table(self) -> str:
+        """Rows: algorithm, mean/std hit ratio, mean runtime."""
+        rows = []
+        for algorithm in self.hit_ratios:
+            rows.append(
+                [
+                    algorithm,
+                    self.hit_ratios[algorithm].mean,
+                    self.hit_ratios[algorithm].std,
+                    f"{self.runtimes[algorithm].mean:.3e}",
+                ]
+            )
+        return format_table(
+            ["algorithm", "hit ratio (mean)", "hit ratio (std)", "runtime (s)"],
+            rows,
+            title=self.name,
+        )
+
+
+@dataclass
+class Fig7Result:
+    """Hit-ratio time series per algorithm under user mobility."""
+
+    times_s: np.ndarray
+    series: Dict[str, SeriesStats]
+
+    def degradation(self, algorithm: str) -> float:
+        """Relative hit-ratio drop from t=0 to the horizon end."""
+        means = self.series[algorithm].means
+        if means[0] == 0:
+            return 0.0
+        return float((means[0] - means[-1]) / means[0])
+
+    def to_table(self) -> str:
+        """Rows: time (min), one mean column per algorithm."""
+        algorithms = list(self.series)
+        headers = ["time (min)"] + algorithms
+        rows = []
+        for index, t in enumerate(self.times_s):
+            row: List[Any] = [float(t / 60.0)]
+            row.extend(
+                float(self.series[algo].means[index]) for algo in algorithms
+            )
+            rows.append(row)
+        return format_table(
+            headers, rows, title="Fig. 7 — cache hit ratio over time (mobility)"
+        )
+
+
+@dataclass
+class ReplacementAblation:
+    """Per-threshold outcome of the §IV-A re-placement loop."""
+
+    thresholds: Sequence[float]
+    mean_hit: Dict[float, RunningStats]
+    replacements: Dict[float, RunningStats]
+    bytes_shipped: Dict[float, RunningStats]
+
+    def to_table(self) -> str:
+        """Rows: threshold, time-avg hit ratio, replacements, traffic."""
+        rows = []
+        for threshold in self.thresholds:
+            rows.append(
+                [
+                    "never" if threshold == 0 else f"{threshold:.2f}",
+                    self.mean_hit[threshold].mean,
+                    self.replacements[threshold].mean,
+                    f"{self.bytes_shipped[threshold].mean / 1e6:.0f} MB",
+                ]
+            )
+        return format_table(
+            [
+                "replace when below",
+                "time-avg hit ratio",
+                "replacements",
+                "backbone traffic",
+            ],
+            rows,
+            title="Ablation — threshold-triggered re-placement (2 h horizon)",
+        )
 
 
 def _score_result(

@@ -1,10 +1,14 @@
-"""Persist placements and experiment results.
+"""Persist placements, experiment results and executed plans.
 
 Operators need placement decisions to outlive the process that computed
 them (the cloud pushes models in an offline stage, §III-A), and
 reproduced figures should be comparable across runs. This module
-round-trips :class:`~repro.core.placement.Placement` objects and exports
-:class:`~repro.sim.runner.ExperimentResult` series as JSON and CSV.
+round-trips :class:`~repro.core.placement.Placement` objects,
+:class:`~repro.sim.runner.ExperimentResult` series and executed-plan
+:class:`~repro.api.run.ResultSet` payloads as JSON (and exports series
+as CSV). Every ``*_to_json`` here has a matching ``*_from_json`` and the
+``to_json → from_json → to_json`` composition is the identity (property-
+tested in ``tests/sim/test_serialization.py``).
 """
 
 from __future__ import annotations
@@ -15,11 +19,16 @@ import json
 from typing import Any, Dict
 
 from repro.core.placement import Placement
-from repro.errors import PlacementError
+from repro.errors import PlacementError, ReproError
 from repro.sim.runner import ExperimentResult
+from repro.utils.stats import SeriesStats
 
 #: Format tag embedded in every serialised placement.
 _PLACEMENT_FORMAT = "trimcaching-placement-v1"
+#: Format tag embedded in every serialised experiment result.
+_EXPERIMENT_FORMAT = "trimcaching-experiment-v1"
+#: Format tag embedded in every serialised executed plan (ResultSet).
+_RESULT_SET_FORMAT = "trimcaching-result-set-v1"
 
 
 def placement_to_dict(placement: Placement) -> Dict[str, Any]:
@@ -70,20 +79,37 @@ def placement_from_json(text: str) -> Placement:
     return placement_from_dict(payload)
 
 
+def _series_to_dict(series: Dict[str, SeriesStats]) -> Dict[str, Any]:
+    return {
+        algo: {
+            "mean": [float(v) for v in stats.means],
+            "std": [float(v) for v in stats.stds],
+            "count": [int(v) for v in stats.counts],
+        }
+        for algo, stats in series.items()
+    }
+
+
+def _series_from_dict(
+    payload: Dict[str, Any], x_values: list
+) -> Dict[str, SeriesStats]:
+    return {
+        algo: SeriesStats.from_moments(
+            x_values, moments["mean"], moments["std"], moments["count"]
+        )
+        for algo, moments in payload.items()
+    }
+
+
 def experiment_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     """A JSON-ready description of a reproduced figure."""
     return {
+        "format": _EXPERIMENT_FORMAT,
         "name": result.name,
         "x_label": result.x_label,
         "x_values": [float(x) for x in result.x_values],
-        "series": {
-            algo: {
-                "mean": [float(v) for v in stats.means],
-                "std": [float(v) for v in stats.stds],
-                "count": [int(v) for v in stats.counts],
-            }
-            for algo, stats in result.series.items()
-        },
+        "series": _series_to_dict(result.series),
+        "runtimes": _series_to_dict(result.runtimes),
         "metadata": {
             key: value
             for key, value in result.metadata.items()
@@ -92,9 +118,84 @@ def experiment_to_dict(result: ExperimentResult) -> Dict[str, Any]:
     }
 
 
+def experiment_from_dict(payload: Dict[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`experiment_to_dict`."""
+    if payload.get("format") != _EXPERIMENT_FORMAT:
+        raise ReproError(
+            f"unrecognised experiment payload format: {payload.get('format')!r}"
+        )
+    try:
+        x_values = [float(x) for x in payload["x_values"]]
+        return ExperimentResult(
+            name=payload["name"],
+            x_label=payload["x_label"],
+            x_values=x_values,
+            series=_series_from_dict(payload["series"], x_values),
+            runtimes=_series_from_dict(payload.get("runtimes", {}), x_values),
+            metadata=dict(payload.get("metadata", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed experiment payload: {exc}") from exc
+
+
 def experiment_to_json(result: ExperimentResult) -> str:
     """Serialise a reproduced figure to JSON."""
     return json.dumps(experiment_to_dict(result), indent=1, sort_keys=True)
+
+
+def experiment_from_json(text: str) -> ExperimentResult:
+    """Parse a reproduced figure from :func:`experiment_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid experiment JSON: {exc}") from exc
+    return experiment_from_dict(payload)
+
+
+def result_set_to_dict(result) -> Dict[str, Any]:
+    """A JSON-ready description of an executed plan (result + plan)."""
+    from repro.api.plan import plan_to_dict
+
+    payload = {
+        "format": _RESULT_SET_FORMAT,
+        "experiment": experiment_to_dict(result),
+        "plan": None,
+    }
+    plan = getattr(result, "plan", None)
+    if plan is not None:
+        payload["plan"] = plan_to_dict(plan)
+    return payload
+
+
+def result_set_from_dict(payload: Dict[str, Any], registry=None):
+    """Rebuild a :class:`~repro.api.run.ResultSet` from its dict form."""
+    from repro.api.plan import plan_from_dict
+    from repro.api.registry import SOLVERS
+    from repro.api.run import ResultSet
+
+    if payload.get("format") != _RESULT_SET_FORMAT:
+        raise ReproError(
+            f"unrecognised result-set payload format: {payload.get('format')!r}"
+        )
+    plan = None
+    if payload.get("plan") is not None:
+        plan = plan_from_dict(payload["plan"], registry or SOLVERS)
+    experiment = experiment_from_dict(payload["experiment"])
+    return ResultSet.from_experiment(experiment, plan)
+
+
+def result_set_to_json(result) -> str:
+    """Serialise an executed plan (result + plan provenance) to JSON."""
+    return json.dumps(result_set_to_dict(result), indent=1, sort_keys=True)
+
+
+def result_set_from_json(text: str, registry=None):
+    """Parse a :class:`~repro.api.run.ResultSet` from its JSON form."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"invalid result-set JSON: {exc}") from exc
+    return result_set_from_dict(payload, registry)
 
 
 def experiment_to_csv(result: ExperimentResult) -> str:

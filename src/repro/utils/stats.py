@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -31,12 +31,17 @@ class RunningStats:
         self._m2 = 0.0
         self._min = math.inf
         self._max = -math.inf
+        #: Exact std restored by :meth:`from_moments`; cleared by
+        #: :meth:`add` (float round-trips of ``std -> m2 -> std`` can
+        #: drift by an ulp, and serialisation must be the identity).
+        self._pinned_std: Optional[float] = None
 
     def add(self, value: float) -> None:
         """Fold one observation into the accumulator."""
         value = float(value)
         if math.isnan(value):
             raise ValueError("cannot accumulate NaN")
+        self._pinned_std = None
         self._count += 1
         delta = value - self._mean
         self._mean += delta / self._count
@@ -64,11 +69,15 @@ class RunningStats:
         """Unbiased sample variance (0.0 with fewer than two samples)."""
         if self._count < 2:
             return 0.0
+        if self._pinned_std is not None:
+            return self._pinned_std**2
         return self._m2 / (self._count - 1)
 
     @property
     def std(self) -> float:
         """Unbiased sample standard deviation."""
+        if self._pinned_std is not None and self._count >= 2:
+            return self._pinned_std
         return math.sqrt(self.variance)
 
     @property
@@ -89,6 +98,28 @@ class RunningStats:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"RunningStats(n={self._count}, mean={self.mean:.4g}, std={self.std:.4g})"
+
+    @classmethod
+    def from_moments(cls, count: int, mean: float, std: float) -> "RunningStats":
+        """Rebuild an accumulator from its serialised (count, mean, std).
+
+        Used by the experiment deserialisers. The per-sample extrema are
+        not serialised, so ``minimum``/``maximum`` of the restored
+        accumulator report NaN rather than a confidently wrong number —
+        and stay NaN through further :meth:`add` calls, because the true
+        extrema are unknowable once lost.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        stats = cls()
+        stats._count = int(count)
+        stats._mean = float(mean)
+        stats._m2 = float(std) ** 2 * max(0, int(count) - 1)
+        stats._pinned_std = float(std)
+        if count:
+            stats._min = math.nan
+            stats._max = math.nan
+        return stats
 
 
 @dataclass
@@ -131,6 +162,29 @@ class SeriesStats:
     def counts(self) -> np.ndarray:
         """Vector of per-point observation counts."""
         return np.array([s.count for s in self._stats])
+
+    def stat_at(self, index: int) -> RunningStats:
+        """The per-point accumulator at sweep position ``index``."""
+        return self._stats[index]
+
+    @classmethod
+    def from_moments(
+        cls,
+        x_values: Sequence[float],
+        means: Sequence[float],
+        stds: Sequence[float],
+        counts: Sequence[int],
+    ) -> "SeriesStats":
+        """Rebuild a series from serialised per-point moments."""
+        if not (len(x_values) == len(means) == len(stds) == len(counts)):
+            raise ValueError("moment vectors must have one entry per x value")
+        return cls(
+            list(x_values),
+            [
+                RunningStats.from_moments(count, mean, std)
+                for count, mean, std in zip(counts, means, stds)
+            ],
+        )
 
 
 def aggregate_series(

@@ -1,0 +1,317 @@
+"""Tests for declarative plans: axes, validation, JSON round-trip."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    ExperimentPlan,
+    MobilitySpec,
+    ReplacementSpec,
+    SolverSpec,
+    SweepSpec,
+    axis_names,
+    plan_from_dict,
+    plan_from_json,
+    plan_to_dict,
+    plan_to_json,
+    resolve_axis,
+)
+from repro.core.gen import GenConfig
+from repro.core.spec import SpecConfig
+from repro.errors import ConfigurationError
+from repro.sim.config import ScenarioConfig
+from repro.utils.units import GB
+
+
+class TestAxes:
+    def test_named_axes_labels(self):
+        assert resolve_axis("capacity").x_label == "Q (GB, paper scale)"
+        assert resolve_axis("servers").x_label == "M"
+        assert resolve_axis("users").x_label == "K"
+
+    def test_capacity_axis_uses_scale(self):
+        cfg = resolve_axis("capacity").apply(ScenarioConfig(), 1.0, 0.2)
+        assert cfg.storage_bytes == int(1.0 * 0.2 * GB)
+
+    def test_servers_axis_casts_int(self):
+        cfg = resolve_axis("servers").apply(ScenarioConfig(), 8.0, 1.0)
+        assert cfg.num_servers == 8
+
+    def test_generic_float_field_axis(self):
+        axis = resolve_axis("zipf_exponent")
+        cfg = axis.apply(ScenarioConfig(), 1.1, 1.0)
+        assert cfg.zipf_exponent == pytest.approx(1.1)
+
+    def test_generic_int_field_axis_casts(self):
+        axis = resolve_axis("num_models")
+        cfg = axis.apply(ScenarioConfig(), 12.0, 1.0)
+        assert cfg.num_models == 12
+        assert isinstance(cfg.num_models, int)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep axis"):
+            resolve_axis("warp-factor")
+
+    def test_tuple_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_axis("deadline_range_s")
+
+    def test_axis_names_lists_named_and_fields(self):
+        names = axis_names()
+        assert "capacity" in names
+        assert "num_users" in names
+        assert "deadline_range_s" not in names
+
+
+def _sweep_plan(**overrides):
+    defaults = dict(
+        name="test sweep",
+        sweep=SweepSpec("capacity", (0.5, 1.0)),
+        solvers=(
+            SolverSpec("spec", config=SpecConfig(epsilon=0.2)),
+            SolverSpec("gen"),
+        ),
+        base={"library_case": "special", "num_models": 12},
+        num_topologies=2,
+        scale=0.2,
+    )
+    defaults.update(overrides)
+    return ExperimentPlan(**defaults)
+
+
+class TestPlanValidation:
+    def test_kinds(self):
+        assert _sweep_plan().kind == "sweep"
+        assert (
+            _sweep_plan(sweep=None).kind == "comparison"
+        )
+        assert _sweep_plan(sweep=None, study=MobilitySpec()).kind == "mobility"
+        assert (
+            _sweep_plan(sweep=None, study=ReplacementSpec()).kind
+            == "replacement"
+        )
+
+    def test_needs_solvers(self):
+        with pytest.raises(ConfigurationError, match="at least one solver"):
+            _sweep_plan(solvers=())
+
+    def test_sweep_and_study_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            _sweep_plan(study=MobilitySpec())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            _sweep_plan(solvers=(SolverSpec("gen"), SolverSpec("gen")))
+
+    def test_distinct_labels_for_same_solver_ok(self):
+        plan = _sweep_plan(
+            solvers=(
+                SolverSpec("gen", label="Gen A"),
+                SolverSpec("gen", label="Gen B"),
+            )
+        )
+        assert plan.labels() == ["Gen A", "Gen B"]
+
+    def test_sweep_needs_points(self):
+        with pytest.raises(ConfigurationError, match="at least one point"):
+            SweepSpec("capacity", ())
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            _sweep_plan(scale=0.0)
+
+    def test_base_config_matches_direct_construction(self):
+        plan = _sweep_plan()
+        assert plan.base_config() == ScenarioConfig(
+            library_case="special", num_models=12
+        )
+
+    def test_base_list_normalised_to_tuple(self):
+        plan = _sweep_plan(
+            base={
+                "library_case": "special",
+                "num_servers": 2,
+                "storage_bytes_per_server": [1 * GB, 2 * GB],
+            }
+        )
+        assert plan.base["storage_bytes_per_server"] == (1 * GB, 2 * GB)
+        assert plan.base_config().storage_bytes_per_server == (1 * GB, 2 * GB)
+
+    def test_with_overrides(self):
+        plan = _sweep_plan().with_overrides(seed=9, workers=3)
+        assert plan.seed == 9
+        assert plan.workers == 3
+        assert plan.name == "test sweep"
+
+
+class TestPlanJsonRoundTrip:
+    def test_sweep_round_trip_equality(self):
+        plan = _sweep_plan()
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_comparison_round_trip_equality(self):
+        plan = _sweep_plan(sweep=None)
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_mobility_round_trip_equality(self):
+        plan = _sweep_plan(
+            sweep=None, study=MobilitySpec(horizon_s=600.0, num_runs=2)
+        )
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_replacement_round_trip_equality(self):
+        plan = _sweep_plan(
+            sweep=None,
+            study=ReplacementSpec(thresholds=(0.0, 0.9), num_runs=1),
+        )
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_json_identity(self):
+        text = plan_to_json(_sweep_plan())
+        assert plan_to_json(plan_from_json(text)) == text
+
+    def test_kind_is_serialised(self):
+        payload = plan_to_dict(_sweep_plan(sweep=None))
+        assert payload["kind"] == "comparison"
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ConfigurationError, match="format"):
+            plan_from_dict({"format": "something-else"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid plan JSON"):
+            plan_from_json("{not json")
+
+    def test_unknown_study_type_rejected(self):
+        payload = plan_to_dict(_sweep_plan(sweep=None, study=MobilitySpec()))
+        payload["study"]["type"] = "teleportation"
+        with pytest.raises(ConfigurationError, match="unknown study type"):
+            plan_from_dict(payload)
+
+    # -- property test: to_json -> from_json -> to_json is the identity --
+    @settings(max_examples=40, deadline=None)
+    @given(
+        axis=st.sampled_from(["capacity", "servers", "users", "zipf_exponent"]),
+        points=st.lists(
+            st.floats(
+                min_value=0.1, max_value=50, allow_nan=False, allow_infinity=False
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        epsilon=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        topologies=st.integers(min_value=1, max_value=100),
+        scale=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        engine=st.sampled_from(["dense", "sparse", "auto"]),
+        accelerated=st.booleans(),
+    )
+    def test_property_round_trip_identity(
+        self, axis, points, epsilon, seed, topologies, scale, engine, accelerated
+    ):
+        plan = ExperimentPlan(
+            name=f"prop {axis}",
+            sweep=SweepSpec(axis, tuple(points)),
+            solvers=(
+                SolverSpec(
+                    "spec", config=SpecConfig(epsilon=epsilon, engine=engine)
+                ),
+                SolverSpec(
+                    "gen", config=GenConfig(accelerated=accelerated)
+                ),
+                SolverSpec("independent"),
+            ),
+            base={"library_case": "special", "num_models": 12},
+            num_topologies=topologies,
+            seed=seed,
+            scale=scale,
+        )
+        text = plan_to_json(plan)
+        restored = plan_from_json(text)
+        assert restored == plan
+        assert plan_to_json(restored) == text
+        assert json.loads(text)["format"] == "trimcaching-plan-v1"
+
+
+class TestReviewRegressions:
+    def test_resolved_label_collision_refused(self):
+        """An explicit label colliding with another solver's registry
+        label must raise, not silently drop a series."""
+        plan = _sweep_plan(
+            solvers=(
+                SolverSpec("spec"),
+                SolverSpec("gen", label="TrimCaching Spec"),
+            )
+        )
+        with pytest.raises(ConfigurationError, match="unique"):
+            plan.algorithms()
+
+    def test_malformed_seed_raises_configuration_error(self):
+        payload = plan_to_dict(_sweep_plan())
+        payload["seed"] = "abc"
+        with pytest.raises(ConfigurationError, match="malformed plan payload"):
+            plan_from_dict(payload)
+
+    def test_study_missing_type_raises_configuration_error(self):
+        payload = plan_to_dict(_sweep_plan(sweep=None, study=MobilitySpec()))
+        del payload["study"]["type"]
+        with pytest.raises(ConfigurationError, match="unknown study type"):
+            plan_from_dict(payload)
+
+    def test_malformed_sweep_raises_configuration_error(self):
+        payload = plan_to_dict(_sweep_plan())
+        payload["sweep"] = {"points": [1.0]}  # axis missing
+        with pytest.raises(ConfigurationError, match="malformed plan payload"):
+            plan_from_dict(payload)
+
+    def test_unknown_base_field_rejected_at_declaration(self):
+        with pytest.raises(ConfigurationError, match="num_server"):
+            _sweep_plan(base={"num_server": 4})
+
+    def test_bad_base_value_rejected_at_declaration(self):
+        with pytest.raises(ConfigurationError):
+            _sweep_plan(base={"num_servers": -1})
+
+    def test_bool_field_not_sweepable(self):
+        with pytest.raises(ConfigurationError, match="cannot be swept"):
+            resolve_axis("per_user_popularity")
+        assert "per_user_popularity" not in axis_names()
+        assert "library_case" not in axis_names()
+
+    def test_base_is_read_only_after_validation(self):
+        plan = _sweep_plan()
+        with pytest.raises(TypeError):
+            plan.base["num_users"] = -5
+
+    def test_study_spec_fields_validated(self):
+        with pytest.raises(ConfigurationError, match="sample_every"):
+            MobilitySpec(sample_every=0)
+        with pytest.raises(ConfigurationError, match="horizon_s"):
+            ReplacementSpec(horizon_s=-5.0)
+        with pytest.raises(ConfigurationError, match="check_every"):
+            ReplacementSpec(check_every=0)
+
+
+class TestPlanBuilderIndex:
+    def test_every_figure_plan_builds_and_round_trips(self):
+        """PLAN_BUILDERS is the canonical figure-plan index: every entry
+        must build a valid plan whose JSON round-trip is lossless."""
+        from repro.sim.experiments import PLAN_BUILDERS
+
+        expected_kinds = {
+            "fig4a": "sweep", "fig4b": "sweep", "fig4c": "sweep",
+            "fig5a": "sweep", "fig5b": "sweep", "fig5c": "sweep",
+            "fig6a": "comparison", "fig6b": "comparison",
+            "fig7": "mobility",
+            "ablation-epsilon": "comparison", "ablation-lazy": "comparison",
+            "ablation-order": "comparison", "ablation-backend": "comparison",
+            "ablation-replacement": "replacement",
+        }
+        assert set(PLAN_BUILDERS) == set(expected_kinds)
+        for name, builder in PLAN_BUILDERS.items():
+            plan = builder()
+            assert plan.kind == expected_kinds[name], name
+            assert plan_from_json(plan_to_json(plan)) == plan, name

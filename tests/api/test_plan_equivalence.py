@@ -1,0 +1,217 @@
+"""Equivalence suite: the plan path is bit-identical to the legacy path.
+
+For every migrated figure/ablation, the plan-declared entry point in
+:mod:`repro.sim.experiments` must reproduce the retained pre-refactor
+implementation in :mod:`repro.sim.legacy` exactly — same hit-ratio
+means/stds/counts at the same seed, no tolerance. Runtimes are wall
+clock, so only their shape (same algorithms, same sample counts) is
+asserted.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim import experiments, legacy
+
+
+def assert_series_bit_identical(new, old):
+    """ExperimentResult equality: x values and every series, exactly."""
+    assert list(new.x_values) == list(old.x_values)
+    assert list(new.series) == list(old.series)
+    for algo in old.series:
+        assert np.array_equal(new.series[algo].means, old.series[algo].means), algo
+        assert np.array_equal(new.series[algo].stds, old.series[algo].stds), algo
+        assert np.array_equal(
+            new.series[algo].counts, old.series[algo].counts
+        ), algo
+    assert list(new.runtimes) == list(old.runtimes)
+    for algo in old.runtimes:
+        assert np.array_equal(
+            new.runtimes[algo].counts, old.runtimes[algo].counts
+        ), algo
+
+
+def assert_comparison_bit_identical(new, old):
+    """AlgorithmComparison equality: every accumulator's moments, exactly."""
+    assert list(new.hit_ratios) == list(old.hit_ratios)
+    for algo in old.hit_ratios:
+        assert new.hit_ratios[algo].count == old.hit_ratios[algo].count, algo
+        assert new.hit_ratios[algo].mean == old.hit_ratios[algo].mean, algo
+        assert new.hit_ratios[algo].std == old.hit_ratios[algo].std, algo
+    assert list(new.runtimes) == list(old.runtimes)
+    for algo in old.runtimes:
+        assert new.runtimes[algo].count == old.runtimes[algo].count, algo
+
+
+_SWEEP_KW = dict(num_topologies=2, seed=0, scale=0.05)
+
+
+class TestSweepFigures:
+    def test_fig4a(self):
+        kw = dict(_SWEEP_KW, capacities_gb=(0.5, 1.0))
+        assert_series_bit_identical(
+            experiments.fig4a_hit_vs_capacity(**kw),
+            legacy.fig4a_hit_vs_capacity(**kw),
+        )
+
+    def test_fig4a_monte_carlo(self):
+        kw = dict(
+            num_topologies=1,
+            seed=3,
+            scale=0.05,
+            capacities_gb=(1.0,),
+            evaluation="monte_carlo",
+            num_realizations=20,
+        )
+        assert_series_bit_identical(
+            experiments.fig4a_hit_vs_capacity(**kw),
+            legacy.fig4a_hit_vs_capacity(**kw),
+        )
+
+    def test_fig4b(self):
+        kw = dict(_SWEEP_KW, server_counts=(4, 6))
+        assert_series_bit_identical(
+            experiments.fig4b_hit_vs_servers(**kw),
+            legacy.fig4b_hit_vs_servers(**kw),
+        )
+
+    def test_fig4c(self):
+        kw = dict(_SWEEP_KW, user_counts=(6, 10))
+        assert_series_bit_identical(
+            experiments.fig4c_hit_vs_users(**kw),
+            legacy.fig4c_hit_vs_users(**kw),
+        )
+
+    def test_fig5a(self):
+        kw = dict(_SWEEP_KW, capacities_gb=(0.5, 1.0))
+        assert_series_bit_identical(
+            experiments.fig5a_hit_vs_capacity(**kw),
+            legacy.fig5a_hit_vs_capacity(**kw),
+        )
+
+    def test_fig5b(self):
+        kw = dict(_SWEEP_KW, server_counts=(4, 6))
+        assert_series_bit_identical(
+            experiments.fig5b_hit_vs_servers(**kw),
+            legacy.fig5b_hit_vs_servers(**kw),
+        )
+
+    def test_fig5c(self):
+        kw = dict(_SWEEP_KW, user_counts=(6, 10))
+        assert_series_bit_identical(
+            experiments.fig5c_hit_vs_users(**kw),
+            legacy.fig5c_hit_vs_users(**kw),
+        )
+
+    def test_fig4a_parallel_workers(self):
+        kw = dict(_SWEEP_KW, capacities_gb=(0.5, 1.0))
+        assert_series_bit_identical(
+            experiments.fig4a_hit_vs_capacity(workers=2, **kw),
+            legacy.fig4a_hit_vs_capacity(**kw),
+        )
+
+
+class TestComparisonFigures:
+    def test_fig6a(self):
+        assert_comparison_bit_identical(
+            experiments.fig6a_optimality_gap(num_topologies=2, seed=0),
+            legacy.fig6a_optimality_gap(num_topologies=2, seed=0),
+        )
+
+    def test_fig6b(self):
+        assert_comparison_bit_identical(
+            experiments.fig6b_runtime_general(num_topologies=1, seed=0),
+            legacy.fig6b_runtime_general(num_topologies=1, seed=0),
+        )
+
+    def test_ablation_epsilon(self):
+        kw = dict(epsilons=(0.1, 0.5), num_topologies=1, seed=0)
+        assert_comparison_bit_identical(
+            experiments.ablation_epsilon(**kw), legacy.ablation_epsilon(**kw)
+        )
+
+    def test_ablation_lazy_greedy(self):
+        assert_comparison_bit_identical(
+            experiments.ablation_lazy_greedy(num_topologies=1, seed=0),
+            legacy.ablation_lazy_greedy(num_topologies=1, seed=0),
+        )
+
+    def test_ablation_server_order(self):
+        assert_comparison_bit_identical(
+            experiments.ablation_server_order(num_topologies=1, seed=0),
+            legacy.ablation_server_order(num_topologies=1, seed=0),
+        )
+
+    def test_ablation_dp_backend(self):
+        assert_comparison_bit_identical(
+            experiments.ablation_dp_backend(num_topologies=1, seed=0),
+            legacy.ablation_dp_backend(num_topologies=1, seed=0),
+        )
+
+
+class TestStudyFigures:
+    def test_fig7(self):
+        kw = dict(num_runs=1, horizon_s=600.0, sample_every=24, seed=0)
+        new = experiments.fig7_mobility_robustness(**kw)
+        old = legacy.fig7_mobility_robustness(**kw)
+        assert np.array_equal(new.times_s, old.times_s)
+        assert list(new.series) == list(old.series)
+        for algo in old.series:
+            assert np.array_equal(
+                new.series[algo].means, old.series[algo].means
+            ), algo
+            assert np.array_equal(
+                new.series[algo].stds, old.series[algo].stds
+            ), algo
+
+    def test_ablation_replacement(self):
+        kw = dict(thresholds=(0.0, 0.9), num_runs=1, horizon_s=600.0, seed=0)
+        new = experiments.ablation_replacement(**kw)
+        old = legacy.ablation_replacement(**kw)
+        assert list(new.thresholds) == list(old.thresholds)
+        for threshold in old.thresholds:
+            assert new.mean_hit[threshold].mean == old.mean_hit[threshold].mean
+            assert (
+                new.replacements[threshold].mean
+                == old.replacements[threshold].mean
+            )
+            assert (
+                new.bytes_shipped[threshold].mean
+                == old.bytes_shipped[threshold].mean
+            )
+
+
+class TestCliSweepReproducesFig4a:
+    def test_series_exactly_equal(self, tmp_path, capsys):
+        """The generic `sweep` CLI reproduces fig4a's series bit-for-bit."""
+        from repro.cli import main
+        from repro.sim.serialization import experiment_to_dict
+
+        out = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "capacity",
+                    "--algos",
+                    "spec,gen,independent",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                    "--json",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        cli_payload = json.loads(out.read_text())["experiment"]
+        reference = experiment_to_dict(
+            legacy.fig4a_hit_vs_capacity(num_topologies=1, seed=0, scale=0.05)
+        )
+        assert cli_payload["x_values"] == reference["x_values"]
+        assert cli_payload["series"] == reference["series"]

@@ -62,3 +62,152 @@ class TestExecution:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+
+class TestGenericSweep:
+    def test_sweep_registered(self):
+        parser = build_parser()
+        sub = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        assert "sweep" in sub.choices
+        assert "solvers" in sub.choices
+
+    def test_sweep_runs_with_defaults(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "capacity",
+                    "--algos",
+                    "gen,independent",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TrimCaching Gen (mean)" in out
+        assert "Independent Caching (mean)" in out
+
+    def test_sweep_custom_axis_and_points(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "zipf_exponent",
+                    "--points",
+                    "0.5,1.2",
+                    "--algos",
+                    "gen",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                    "--engine",
+                    "sparse",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "zipf_exponent" in out
+
+    def test_sweep_dry_run_prints_plan(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "users",
+                    "--points",
+                    "4,8",
+                    "--algos",
+                    "gen",
+                    "--dry-run",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert '"format": "trimcaching-plan-v1"' in out
+        assert '"kind": "sweep"' in out
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "capacity",
+                    "--points",
+                    "0.5",
+                    "--algos",
+                    "gen",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                    "--json",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        from repro.sim.serialization import result_set_from_json
+
+        restored = result_set_from_json(out_file.read_text())
+        assert restored.plan is not None
+        assert restored.plan.sweep.points == (0.5,)
+
+    def test_sweep_unknown_solver_exits_nonzero(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "capacity",
+                    "--algos",
+                    "not-a-solver",
+                    "--topologies",
+                    "1",
+                ]
+            )
+            == 2
+        )
+        assert "registered solvers" in capsys.readouterr().err
+
+    def test_sweep_axis_without_default_points_exits_2(self, capsys):
+        assert main(["sweep", "--axis", "zipf_exponent", "--algos", "gen"]) == 2
+        assert "--points is required" in capsys.readouterr().err
+
+    def test_solvers_command(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        assert "gen" in out
+        assert "TrimCaching Spec" in out
+
+    def test_fig4a_engine_flag(self, capsys):
+        assert (
+            main(
+                ["fig4a", "--topologies", "1", "--scale", "0.05", "--engine", "sparse"]
+            )
+            == 0
+        )
+        assert "Fig. 4(a)" in capsys.readouterr().out
+
+    def test_sweep_bad_points_exits_2(self, capsys):
+        assert (
+            main(["sweep", "--axis", "capacity", "--points", "abc", "--algos", "gen"])
+            == 2
+        )
+        assert "invalid --points" in capsys.readouterr().err

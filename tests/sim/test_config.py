@@ -64,3 +64,33 @@ class TestOverrides:
     def test_overrides_are_validated(self):
         with pytest.raises(ConfigurationError):
             ScenarioConfig().with_overrides(num_servers=-1)
+
+
+class TestConfigDictRoundTrip:
+    def test_round_trip_identity(self):
+        from repro.sim.config import ScenarioConfig
+
+        config = ScenarioConfig(
+            num_servers=4,
+            num_users=8,
+            num_models=12,
+            storage_bytes_per_server=(10, 20, 30, 40),
+            deadline_range_s=(0.6, 0.9),
+        )
+        payload = config.to_dict()
+        assert payload["storage_bytes_per_server"] == [10, 20, 30, 40]
+        assert ScenarioConfig.from_dict(payload) == config
+
+    def test_partial_payload_uses_defaults(self):
+        from repro.sim.config import ScenarioConfig
+
+        config = ScenarioConfig.from_dict({"num_users": 5})
+        assert config.num_users == 5
+        assert config.num_servers == ScenarioConfig().num_servers
+
+    def test_unknown_field_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.sim.config import ScenarioConfig
+
+        with pytest.raises(ConfigurationError, match="unknown ScenarioConfig"):
+            ScenarioConfig.from_dict({"num_server": 5})

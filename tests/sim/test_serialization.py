@@ -88,3 +88,135 @@ class TestExperimentExport:
         assert len(lines) == 3  # header + 2 sweep points
         assert lines[0].startswith("Q (GB),Gen mean,Gen std")
         assert lines[1].startswith("0.1,")
+
+
+class TestExperimentRoundTrip:
+    def test_from_json_rebuilds_series(self, small_result):
+        from repro.sim.serialization import experiment_from_json
+
+        restored = experiment_from_json(experiment_to_json(small_result))
+        assert restored.name == small_result.name
+        assert restored.x_label == small_result.x_label
+        assert list(restored.series) == list(small_result.series)
+        for algo in small_result.series:
+            assert (
+                restored.series[algo].means == small_result.series[algo].means
+            ).all()
+            assert (
+                restored.series[algo].stds == small_result.series[algo].stds
+            ).all()
+            assert (
+                restored.series[algo].counts == small_result.series[algo].counts
+            ).all()
+
+    def test_to_json_from_json_to_json_is_identity(self, small_result):
+        from repro.sim.serialization import experiment_from_json
+
+        text = experiment_to_json(small_result)
+        assert experiment_to_json(experiment_from_json(text)) == text
+
+    def test_property_round_trip_identity(self):
+        """to_json -> from_json -> to_json is the identity for arbitrary
+        accumulated series (property-based)."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.sim.runner import ExperimentResult
+        from repro.sim.serialization import experiment_from_json
+        from repro.utils.stats import SeriesStats
+
+        @settings(max_examples=50, deadline=None)
+        @given(
+            x_values=st.lists(
+                st.floats(
+                    min_value=0.01,
+                    max_value=100,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            runs=st.integers(min_value=1, max_value=5),
+            data=st.data(),
+        )
+        def check(x_values, runs, data):
+            series = SeriesStats(x_values)
+            sample = st.floats(
+                min_value=0.0, max_value=1.0, allow_nan=False
+            )
+            for _ in range(runs):
+                series.add_run(
+                    [data.draw(sample) for _ in x_values]
+                )
+            result = ExperimentResult(
+                name="prop",
+                x_label="x",
+                x_values=x_values,
+                series={"algo": series},
+                metadata={"seed": 0},
+            )
+            text = experiment_to_json(result)
+            assert experiment_to_json(experiment_from_json(text)) == text
+
+        check()
+
+    def test_bad_format_rejected(self):
+        from repro.errors import ReproError
+        from repro.sim.serialization import experiment_from_json
+
+        with pytest.raises(ReproError, match="format"):
+            experiment_from_json(json.dumps({"format": "nope"}))
+
+    def test_invalid_json_rejected(self):
+        from repro.errors import ReproError
+        from repro.sim.serialization import experiment_from_json
+
+        with pytest.raises(ReproError, match="invalid experiment JSON"):
+            experiment_from_json("{not json")
+
+    def test_malformed_payload_rejected(self):
+        from repro.errors import ReproError
+        from repro.sim.serialization import experiment_from_dict
+
+        with pytest.raises(ReproError, match="malformed"):
+            experiment_from_dict({"format": "trimcaching-experiment-v1"})
+
+
+class TestResultSetRoundTrip:
+    def test_plan_travels_with_the_result(self):
+        from repro.api import ExperimentPlan, SolverSpec, SweepSpec, run_plan
+        from repro.sim.serialization import (
+            result_set_from_json,
+            result_set_to_json,
+        )
+
+        plan = ExperimentPlan(
+            name="ser plan",
+            sweep=SweepSpec("capacity", (0.1, 0.2)),
+            solvers=(SolverSpec("gen"),),
+            base={"num_servers": 2, "num_users": 4, "num_models": 6},
+            num_topologies=1,
+        )
+        result = run_plan(plan)
+        text = result_set_to_json(result)
+        restored = result_set_from_json(text)
+        assert restored.plan == plan
+        assert result_set_to_json(restored) == text
+
+    def test_plain_experiment_serialises_without_plan(self, small_result):
+        from repro.sim.serialization import (
+            result_set_from_json,
+            result_set_to_json,
+        )
+
+        restored = result_set_from_json(result_set_to_json(small_result))
+        assert restored.plan is None
+        assert restored.name == small_result.name
+
+    def test_bad_format_rejected(self):
+        from repro.errors import ReproError
+        from repro.sim.serialization import result_set_from_json
+
+        with pytest.raises(ReproError, match="format"):
+            result_set_from_json(json.dumps({"format": "nope"}))

@@ -100,3 +100,36 @@ class TestSummaries:
             average_relative_gain([1.0], [1.0, 2.0])
         with pytest.raises(ValueError):
             average_relative_gain([], [])
+
+
+class TestFromMoments:
+    def test_moments_survive(self):
+        from repro.utils.stats import RunningStats
+
+        original = RunningStats()
+        for value in (0.1, 0.5, 0.9):
+            original.add(value)
+        restored = RunningStats.from_moments(
+            original.count, original.mean, original.std
+        )
+        assert restored.count == original.count
+        assert restored.mean == original.mean
+        assert restored.std == original.std
+
+    def test_unknown_extrema_are_nan(self):
+        import math
+
+        from repro.utils.stats import RunningStats
+
+        restored = RunningStats.from_moments(3, 0.5, 0.1)
+        assert math.isnan(restored.minimum)
+        assert math.isnan(restored.maximum)
+        restored.add(0.7)  # extrema stay unknowable after more samples
+        assert math.isnan(restored.minimum)
+        assert restored.count == 4
+
+    def test_negative_count_rejected(self):
+        from repro.utils.stats import RunningStats
+
+        with pytest.raises(ValueError):
+            RunningStats.from_moments(-1, 0.0, 0.0)
