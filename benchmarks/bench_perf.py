@@ -19,7 +19,10 @@ Covered:
 * the end-to-end sweep pipeline at paper scale (``M=30, K=500``, ≥8
   topologies): seed engines on the dense serial path vs the PR-1 dense
   engines vs the sparse CSR path, serial and ``workers=N`` — all four
-  asserted bit-identical series, wall-clock recorded.
+  asserted bit-identical series, wall-clock recorded;
+* the artifact store — cold vs warm execution of the same plan through
+  ``repro.exec`` (the warm run is a pure content-addressed cache hit;
+  byte-identical result JSON asserted, wall-clock ratio tracked).
 
 Usage::
 
@@ -364,6 +367,77 @@ def sweep_benchmarks(quick: bool, workers: int):
     }
 
 
+def cache_benchmarks(quick: bool, workers: int):
+    """Cold vs warm execution of one plan through the artifact store.
+
+    The warm run must be a pure cache hit (no tasks executed) returning
+    a byte-identical result set; the tracked number is how much faster
+    "don't recompute" is than the cold sparse pipeline.
+    """
+    import tempfile
+
+    from repro.api import ExperimentPlan, SolverSpec, SweepSpec
+    from repro.core import GenConfig, IndependentConfig
+    from repro.exec import ArtifactStore, ProcessBackend, SerialBackend, execute_plan
+
+    params = dict(
+        num_servers=8 if quick else 30,
+        num_users=60 if quick else 500,
+        num_models=30 if quick else 300,
+        requests_per_user=12 if quick else 30,
+        deadline_range_s=(1.0, 2.0),
+        library_case="special",
+    )
+    plan = ExperimentPlan(
+        name="bench cache sweep",
+        sweep=SweepSpec(
+            "capacity", (0.15, 0.3) if quick else (0.15, 0.3, 0.6)
+        ),
+        solvers=(
+            SolverSpec("gen", config=GenConfig(engine="sparse")),
+            SolverSpec("independent", config=IndependentConfig(engine="sparse")),
+        ),
+        base=params,
+        num_topologies=2 if quick else 8,
+        seed=7,
+        scale=1.0,
+    )
+    backend = SerialBackend() if workers <= 1 else ProcessBackend(workers)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ArtifactStore(tmp)
+        start = time.perf_counter()
+        cold, cold_report = execute_plan(plan, backend=backend, store=store)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm, warm_report = execute_plan(plan, backend=backend, store=store)
+        warm_s = time.perf_counter() - start
+    assert warm_report.cache == "hit", "warm run was not a pure cache hit"
+    assert warm_report.tasks_run == 0
+    identical = warm.to_json() == cold.to_json()
+    assert identical, "warm result set diverges from the cold run"
+    print(
+        f"cache (M={params['num_servers']}, K={params['num_users']}, "
+        f"I={params['num_models']}, {plan.num_topologies} topologies x "
+        f"{len(plan.sweep.points)} points): cold {cold_s:.2f} s "
+        f"({cold_report.tasks_run} tasks), warm {warm_s * 1e3:.1f} ms "
+        f"(hit) — {cold_s / warm_s:.0f}x, byte-identical result"
+    )
+    return {
+        "plan_sweep": {
+            "instance": {**params, "seed": 7},
+            "num_topologies": plan.num_topologies,
+            "sweep_points_gb": list(plan.sweep.points),
+            "backend": backend.name,
+            "tasks": cold_report.tasks_total,
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup_warm_vs_cold": cold_s / warm_s,
+            "warm_is_pure_hit": warm_report.cache == "hit",
+            "result_bytes_identical": identical,
+        }
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -403,6 +477,7 @@ def main(argv=None) -> int:
         "dp": dp_benchmarks(args.quick),
         "sparse": sparse_benchmarks(args.quick),
         "sweep": sweep_benchmarks(args.quick, args.workers),
+        "cache": cache_benchmarks(args.quick, args.workers),
     }
 
     gen_key = "gen_quick" if args.quick else "gen_paper_tight"

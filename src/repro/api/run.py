@@ -332,9 +332,27 @@ def _run_replacement(
 
 
 def run_plan(
-    plan: ExperimentPlan, registry: SolverRegistry = SOLVERS
+    plan: ExperimentPlan,
+    registry: SolverRegistry = SOLVERS,
+    backend: Optional[Any] = None,
+    store: Optional[Any] = None,
 ) -> ResultSet:
-    """Execute a plan and return its uniform :class:`ResultSet`."""
+    """Execute a plan and return its uniform :class:`ResultSet`.
+
+    ``backend`` (an :class:`~repro.exec.backends.ExecutionBackend`)
+    selects the execution substrate for sweep plans and ``store`` (an
+    :class:`~repro.exec.store.ArtifactStore`) enables content-addressed
+    result caching and mid-sweep resume; both default to off, which runs
+    the plan exactly as before. Every backend/store combination yields
+    hit-ratio series bit-identical to the plain path — use
+    :func:`repro.exec.execute_plan` when you also want the execution
+    report (cache hit/miss, task counts).
+    """
+    if backend is not None or store is not None:
+        from repro.exec.executor import execute_plan
+
+        result, _ = execute_plan(plan, registry, backend=backend, store=store)
+        return result
     kind = plan.kind
     if kind == "sweep":
         return _run_sweep(plan, registry)

@@ -9,12 +9,17 @@ Usage::
     python -m repro solvers
     python -m repro sweep --axis capacity --algos spec,gen,independent
     python -m repro sweep --axis users --points 10,30,50 --engine sparse
+    python -m repro sweep --plan plan.json --backend process --cache-dir .cache
     trimcaching fig7 --runs 3
 
 Every command prints the reproduced table to stdout. The ``sweep``
 command is the generic front-end to the declarative experiment API
 (:mod:`repro.api`): pick an axis, points, and any set of registered
-solvers — the per-figure commands are just pre-baked plans.
+solvers — the per-figure commands are just pre-baked plans. With
+``--plan`` it executes a serialised plan file instead; ``--backend``
+picks the execution substrate (bit-identical series on all of them) and
+``--cache-dir`` enables content-addressed result caching with mid-sweep
+resume (an unchanged re-run is a pure cache hit).
 """
 
 from __future__ import annotations
@@ -143,9 +148,40 @@ def _generic_solver_spec(name: str, engine: str, epsilon: float):
     return SolverSpec(name, config=config)
 
 
-def _generic_sweep(args: argparse.Namespace) -> str:
-    from repro.api import ExperimentPlan, SweepSpec, plan_to_json, run_plan
+#: The ``sweep`` flags that define the experiment itself (as opposed to
+#: how it executes). They default to ``None`` so an explicit use can be
+#: detected — and rejected — when ``--plan`` already defines the grid.
+_GRID_FLAGS = {
+    "axis": None,
+    "points": None,
+    "algos": "gen,independent",
+    "case": "special",
+    "evaluation": "expected",
+    "realizations": 200,
+    "scale": None,
+    "engine": "dense",
+    "epsilon": 0.1,
+    "servers": None,
+    "users": None,
+    "models": None,
+    "requests_per_user": None,
+    "storage_gb": None,
+    "name": None,
+    "topologies": 10,
+    "seed": 0,
+}
+
+
+def _build_cli_plan(args: argparse.Namespace):
+    """The plan an ``--axis``-style invocation describes."""
+    from repro.api import ExperimentPlan, SweepSpec
     from repro.utils.units import GB
+
+    # Unset grid flags take their documented defaults here (they stay
+    # None on the namespace so the --plan path can detect explicit use).
+    for flag, default in _GRID_FLAGS.items():
+        if getattr(args, flag) is None:
+            setattr(args, flag, default)
 
     scale = args.scale if args.scale is not None else experiments.DEFAULT_SCALE
     points = (
@@ -182,7 +218,7 @@ def _generic_sweep(args: argparse.Namespace) -> str:
         raise ConfigurationError(
             "--algos must name at least one registered solver"
         )
-    plan = ExperimentPlan(
+    return ExperimentPlan(
         name=args.name
         or f"Sweep — {args.axis} ({args.case} case, scale={scale})",
         sweep=SweepSpec(args.axis, tuple(points)),
@@ -196,11 +232,61 @@ def _generic_sweep(args: argparse.Namespace) -> str:
         num_realizations=args.realizations,
         seed=args.seed,
         scale=scale,
-        workers=args.workers,
+        workers=args.workers if args.workers is not None else 1,
     )
+
+
+def _generic_sweep(args: argparse.Namespace) -> str:
+    from repro.api import plan_from_json, plan_to_json, run_plan
+    from repro.errors import ConfigurationError
+
+    if args.plan is not None:
+        # The plan file is authoritative for *what* runs; the CLI flags
+        # only choose how (backend/cache/workers/outputs). Rather than
+        # silently ignoring an experiment-defining flag, refuse it —
+        # edit the plan file (or regenerate it with --dry-run) instead.
+        overridden = sorted(
+            flag.replace("_", "-")
+            for flag in _GRID_FLAGS
+            if getattr(args, flag) is not None
+        )
+        if overridden:
+            raise ConfigurationError(
+                "--plan already defines the experiment; remove the "
+                f"conflicting flag(s): --{', --'.join(overridden)}"
+            )
+        try:
+            with open(args.plan) as handle:
+                plan = plan_from_json(handle.read())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read --plan file: {exc}") from exc
+        # An explicit --workers still applies: it is execution placement
+        # (it can lower a shared plan file's parallelism), not content.
+        if args.workers is not None:
+            plan = plan.with_overrides(workers=args.workers)
+    elif args.axis is not None:
+        plan = _build_cli_plan(args)
+    else:
+        raise ConfigurationError("either --axis or --plan is required")
     if args.dry_run:
         return plan_to_json(plan)
-    return _render_result(run_plan(plan), args)
+
+    backend = None
+    if args.backend is not None:
+        from repro.exec import make_backend
+
+        backend = make_backend(args.backend, workers=plan.workers)
+    store = None
+    if args.cache_dir is not None:
+        from repro.exec import ArtifactStore
+
+        store = ArtifactStore(args.cache_dir)
+    if backend is None and store is None:
+        return _render_result(run_plan(plan), args)
+    from repro.exec import execute_plan
+
+    result, report = execute_plan(plan, backend=backend, store=store)
+    return _render_result(result, args) + f"\n({report.summary()})"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -265,38 +351,68 @@ def build_parser() -> argparse.ArgumentParser:
     # The generic declarative sweep over any axis/solver set.
     p = sub.add_parser(
         "sweep",
-        help="Run a declarative sweep: any axis, points and solver set.",
+        help="Run a declarative sweep: any axis, points and solver set, "
+        "or a serialised --plan file.",
     )
     add_common(p)
     p.add_argument(
         "--axis",
-        required=True,
-        help="capacity | servers | users | any ScenarioConfig field",
+        default=None,
+        help="capacity | servers | users | any ScenarioConfig field "
+        "(required unless --plan is given)",
+    )
+    p.add_argument(
+        "--plan",
+        default=None,
+        help="execute this serialised plan JSON file instead of building "
+        "a plan from --axis/--points/--algos",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("serial", "process", "cluster"),
+        default=None,
+        help="execution backend for the task grid (bit-identical series "
+        "on all; process/cluster width follows --workers)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed artifact store: unchanged re-runs are "
+        "pure cache hits and killed sweeps resume from completed tasks",
     )
     p.add_argument(
         "--points",
         help="comma-separated sweep points (defaults to the paper's "
         "values for the named axes)",
     )
+    # Grid-defining flags default to None (documented fallbacks applied
+    # in _build_cli_plan) so --plan can reject explicit use of any.
     p.add_argument(
         "--algos",
-        default="gen,independent",
+        default=None,
         help="comma-separated registered solver names "
-        "(see `python -m repro solvers`)",
+        "(see `python -m repro solvers`; default gen,independent)",
     )
-    p.add_argument("--case", choices=("special", "general"), default="special")
+    p.add_argument("--case", choices=("special", "general"), default=None)
     p.add_argument(
-        "--evaluation", choices=("expected", "monte_carlo"), default="expected"
+        "--evaluation", choices=("expected", "monte_carlo"), default=None
     )
-    p.add_argument("--realizations", type=int, default=200)
+    p.add_argument("--realizations", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
-    p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--engine", choices=_ENGINES, default="dense")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallelism (backend width / plan workers field); "
+        "defaults to the plan's own setting",
+    )
+    p.add_argument("--engine", choices=_ENGINES, default=None)
     p.add_argument(
         "--epsilon",
         type=float,
-        default=0.1,
-        help="rounding parameter for solvers that take one (spec)",
+        default=None,
+        help="rounding parameter for solvers that take one (spec; "
+        "default 0.1)",
     )
     p.add_argument("--servers", type=int, default=None)
     p.add_argument("--users", type=int, default=None)
@@ -315,7 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the plan JSON instead of running it",
     )
     add_sweep_outputs(p)
-    p.set_defaults(handler=_generic_sweep)
+    # add_common gave --topologies/--seed concrete defaults; sweep needs
+    # them None-able too, so --plan can detect explicit use.
+    p.set_defaults(handler=_generic_sweep, topologies=None, seed=None)
 
     p = sub.add_parser("solvers", help="List the registered solvers.")
     p.set_defaults(handler=_solvers)

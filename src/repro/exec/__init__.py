@@ -1,0 +1,59 @@
+"""Execution & artifact-store subsystem.
+
+The layer between a declarative :class:`~repro.api.plan.ExperimentPlan`
+and the solvers: *where* its task grid runs
+(:mod:`repro.exec.backends` — serial, process pool, local cluster
+shards, all bit-identical) and *whether it needs to run at all*
+(:mod:`repro.exec.store` — a content-addressed cache of full results
+and per-task partials, keyed on the canonical serialised plan plus a
+code-version salt).
+
+Entry points:
+
+* :func:`execute_plan` — run a plan on a backend with optional caching,
+  returning ``(ResultSet, ExecutionReport)``;
+* ``repro.api.run_plan(plan, backend=..., store=...)`` — the same,
+  report-less;
+* ``python -m repro sweep --plan plan.json --backend process
+  --cache-dir .cache`` — the CLI front end (resumable, cache-hitting).
+"""
+
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    LocalClusterBackend,
+    ProcessBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.exec.executor import (
+    ExecutionReport,
+    SweepTask,
+    build_sweep_tasks,
+    default_backend,
+    execute_plan,
+)
+from repro.exec.store import (
+    CODE_VERSION_SALT,
+    ArtifactStore,
+    canonical_plan_payload,
+    plan_cache_key,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "LocalClusterBackend",
+    "make_backend",
+    "ArtifactStore",
+    "plan_cache_key",
+    "canonical_plan_payload",
+    "CODE_VERSION_SALT",
+    "execute_plan",
+    "ExecutionReport",
+    "SweepTask",
+    "build_sweep_tasks",
+    "default_backend",
+]

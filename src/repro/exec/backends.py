@@ -1,0 +1,230 @@
+"""Pluggable execution backends: *where* a task grid runs.
+
+An :class:`ExecutionBackend` maps a pure, picklable task function over a
+list of payloads and yields the results **in submission order**. That
+contract is all the executors need: every task's inputs (including its
+scenario seed) are fixed in the parent before submission, the task
+function is deterministic, and results are folded in submission order —
+so any backend produces results bit-identical to
+:class:`SerialBackend`'s, whatever the placement of tasks on processes.
+
+Three backends ship:
+
+* :class:`SerialBackend` — in-process, lazily, one task at a time.
+* :class:`ProcessBackend` — a :class:`~concurrent.futures.
+  ProcessPoolExecutor` fan-out (the generalisation of the former
+  ``SweepRunner(workers=N)`` inline pool).
+* :class:`LocalClusterBackend` — shards the task grid round-robin into
+  ``shards`` groups, runs each shard as one long-lived worker-process
+  job, and re-interleaves the shard outputs back into submission order —
+  the shape of a cluster dispatcher, runnable on one machine.
+
+Backends are deliberately ignorant of plans, scenarios and stores; they
+see only ``(fn, payloads)``. New substrates (a queue consumer, an RPC
+fan-out) plug in by implementing :meth:`ExecutionBackend.map`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+try:  # pragma: no cover - Protocol exists on every supported Python
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.errors import ConfigurationError
+
+#: CLI-facing backend names, in help-text order.
+BACKEND_NAMES = ("serial", "process", "cluster")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The execution-substrate contract.
+
+    ``map(fn, payloads)`` yields ``fn(payload)`` for every payload **in
+    submission order**, lazily where the substrate allows it (the
+    executors persist each task's result as soon as it is yielded, so a
+    killed run resumes from the completed prefix).
+    """
+
+    #: Short stable name (``"serial"``, ``"process"``, ...).
+    name: str
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Yield ``fn(payload)`` per payload, in submission order."""
+        ...  # pragma: no cover - protocol body
+
+
+class SerialBackend:
+    """Run every task in-process, one at a time (the reference order)."""
+
+    name = "serial"
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Lazily evaluate ``fn`` over ``payloads`` in order."""
+        return (fn(payload) for payload in payloads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "SerialBackend()"
+
+
+class ProcessBackend:
+    """Fan tasks over a local process pool, results in submission order.
+
+    Parameters
+    ----------
+    workers:
+        Pool width. ``chunksize`` batches consecutive payloads per
+        round-trip (larger chunks amortise pickling of shared payload
+        parts, e.g. a sweep point's model library).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, chunksize: int = 1) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1, got {workers}"
+            )
+        if chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be at least 1, got {chunksize}"
+            )
+        self.workers = workers
+        self.chunksize = chunksize
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Yield pool results lazily; order follows submission."""
+        payloads = list(payloads)
+
+        def _iterate() -> Iterator[Any]:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                try:
+                    yield from pool.map(
+                        fn, payloads, chunksize=self.chunksize
+                    )
+                except BaseException:
+                    # A task failed or the consumer abandoned the
+                    # iteration (GeneratorExit); cancel queued work so
+                    # the pool shutdown in __exit__ doesn't grind
+                    # through the whole remaining grid before the error
+                    # can surface.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+
+        return _iterate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ProcessBackend(workers={self.workers})"
+
+
+def _run_shard(fn: Callable[[Any], Any], payloads: List[Any]) -> List[Any]:
+    """Run one shard's payloads sequentially (module-level: picklable)."""
+    return [fn(payload) for payload in payloads]
+
+
+class LocalClusterBackend:
+    """Shard the task grid across long-lived worker-process jobs.
+
+    The grid is dealt round-robin into ``shards`` groups; each group runs
+    as a single sequential job in the pool (one "node" of the pretend
+    cluster), and the outputs are re-interleaved into submission order.
+    Because every task's seed travels in its payload and the fold order
+    is reconstructed exactly, the results are bit-identical to
+    :class:`SerialBackend` — only the placement of work differs.
+
+    Trade-off versus :class:`ProcessBackend`: a shard's outputs become
+    available only when the whole shard job completes, so results reach
+    the consumer — and therefore the artifact store's per-task
+    persistence — at **shard granularity**. A killed cluster-backend
+    sweep resumes from completed shards, not completed tasks; prefer
+    ``process`` when fine-grained resume matters more than long-lived
+    shard jobs.
+
+    Parameters
+    ----------
+    shards:
+        Number of shard jobs to cut the grid into.
+    workers:
+        Pool width (defaults to ``shards``: every shard gets a process).
+    """
+
+    name = "cluster"
+
+    def __init__(self, shards: int = 2, workers: Optional[int] = None) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be at least 1, got {shards}")
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"workers must be at least 1, got {workers}"
+            )
+        self.shards = shards
+        self.workers = workers if workers is not None else shards
+
+    def map(
+        self, fn: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> Iterator[Any]:
+        """Yield shard-job results re-interleaved into submission order."""
+        payloads = list(payloads)
+        if not payloads:
+            return iter(())
+        shards = min(self.shards, len(payloads))
+        assignment = [index % shards for index in range(len(payloads))]
+        shard_payloads: List[List[Any]] = [[] for _ in range(shards)]
+        for index, payload in enumerate(payloads):
+            shard_payloads[assignment[index]].append(payload)
+
+        def _iterate() -> Iterator[Any]:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_run_shard, fn, shard)
+                    for shard in shard_payloads
+                ]
+                try:
+                    cursors = [0] * shards
+                    for index in range(len(payloads)):
+                        shard = assignment[index]
+                        shard_results = futures[shard].result()
+                        yield shard_results[cursors[shard]]
+                        cursors[shard] += 1
+                except BaseException:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+
+        return _iterate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LocalClusterBackend(shards={self.shards}, "
+            f"workers={self.workers})"
+        )
+
+
+def make_backend(name: str, workers: int = 1) -> ExecutionBackend:
+    """Construct a backend from its CLI name.
+
+    ``workers`` is the parallelism knob: pool width for ``process``,
+    shard/pool count for ``cluster``; ``serial`` ignores it.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessBackend(workers=max(1, workers))
+    if name == "cluster":
+        return LocalClusterBackend(shards=max(1, workers))
+    raise ConfigurationError(
+        f"unknown backend {name!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )

@@ -1,0 +1,329 @@
+"""The plan executor: task grid × backend × artifact store.
+
+:func:`execute_plan` is the cache-and-backend-aware counterpart of
+:func:`repro.api.run.run_plan`. For a sweep plan it expands the
+(sweep point × topology) task grid **in the parent** — every task
+carries its scenario seed (the same ``hash((seed, x_index, t))``
+derivation the serial :class:`~repro.sim.runner.SweepRunner` uses) and
+its sweep point's shared model library — then maps the grid over an
+:class:`~repro.exec.backends.ExecutionBackend` and folds the outcomes in
+serial order. Because the task function is the very
+:func:`~repro.sim.runner._run_sweep_slice` the serial loop runs and the
+fold replays the serial nesting, every backend's series are
+bit-identical to :class:`~repro.exec.backends.SerialBackend`'s.
+
+With an :class:`~repro.exec.store.ArtifactStore` attached:
+
+* an unchanged re-run returns the cached full result without running a
+  single task (a pure cache hit);
+* each task's outcome is persisted the moment the backend yields it, so
+  a killed sweep resumes from its completed tasks — the resumed result
+  is identical to an uninterrupted run because restored scores fold in
+  the same order with the same bits (JSON floats round-trip exactly);
+* the cache key excludes ``workers`` (and the backend), so artifacts are
+  shared across execution substrates.
+
+Study kinds (comparison / mobility / replacement) have no task grid;
+they execute in-process and participate in full-result caching only.
+
+Granularity trade-off: one task per (point, topology) is what makes
+per-task caching and fine-grained resume possible, but it means
+:class:`~repro.exec.backends.ProcessBackend` pickles a point's shared
+model library once per topology (the ``SweepRunner(workers=N)`` slice
+path pickles it once per slice). Pickle memoises within a submission,
+so :class:`~repro.exec.backends.LocalClusterBackend` — whose shard jobs
+carry many tasks in one submit — amortises the library the way slices
+do; pick it (or the plain ``--workers`` path) when pickling overhead
+outweighs resume granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.plan import ExperimentPlan, resolve_axis
+from repro.api.registry import SOLVERS, SolverRegistry
+from repro.exec.backends import ExecutionBackend, ProcessBackend, SerialBackend
+from repro.exec.store import ArtifactStore, plan_cache_key
+from repro.utils.stats import SeriesStats
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the sweep grid: a (sweep point, topology) pair.
+
+    ``task_id`` addresses the cached partial; ``scenario_seed`` is fixed
+    at grid-build time in the parent. The executable payload (config +
+    shared library + solvers) is materialised lazily, only for tasks the
+    cache cannot serve — so a resume never rebuilds a fully-cached
+    point's model library.
+    """
+
+    task_id: str
+    x_index: int
+    topology_index: int
+    scenario_seed: int
+
+
+@dataclass
+class ExecutionReport:
+    """How a plan execution was served (for operators, not results).
+
+    Deliberately kept **out** of the :class:`~repro.api.run.ResultSet`:
+    cache status and backend choice must not perturb the result bytes,
+    or warm re-runs would stop being byte-identical to cold ones.
+    """
+
+    backend: str
+    cache: str  #: ``"off"`` | ``"hit"`` | ``"partial"`` | ``"miss"``
+    plan_key: Optional[str] = None
+    tasks_total: int = 0
+    tasks_cached: int = 0
+    tasks_run: int = 0
+
+    def summary(self) -> str:
+        """One human line for the CLI footer."""
+        if self.cache == "off":
+            return (
+                f"backend {self.backend}: ran {self.tasks_run} task(s), "
+                "cache off"
+            )
+        key = (self.plan_key or "")[:12]
+        if self.cache == "hit":
+            return (
+                f"cache hit — plan {key}, 0/{self.tasks_total} tasks run "
+                f"(backend {self.backend})"
+            )
+        return (
+            f"cache {self.cache} — plan {key}, {self.tasks_run}/"
+            f"{self.tasks_total} tasks run, {self.tasks_cached} restored "
+            f"(backend {self.backend})"
+        )
+
+
+def default_backend(plan: ExperimentPlan) -> ExecutionBackend:
+    """The backend a plan implies on its own: ``workers`` decides."""
+    if plan.workers > 1:
+        return ProcessBackend(workers=plan.workers)
+    return SerialBackend()
+
+
+def build_sweep_tasks(plan: ExperimentPlan) -> List[SweepTask]:
+    """Expand a sweep plan into its per-(point, topology) task grid.
+
+    Seeds come from :func:`repro.sim.runner.scenario_seed` — the same
+    derivation the runner's serial loop uses — so grid execution is
+    bit-identical to the runner path.
+    """
+    from repro.sim.runner import scenario_seed
+
+    tasks: List[SweepTask] = []
+    for x_index in range(len(plan.sweep.points)):
+        for topology_index in range(plan.num_topologies):
+            tasks.append(
+                SweepTask(
+                    task_id=f"x{x_index}-t{topology_index}",
+                    x_index=x_index,
+                    topology_index=topology_index,
+                    scenario_seed=scenario_seed(
+                        plan.seed, x_index, topology_index
+                    ),
+                )
+            )
+    return tasks
+
+
+class _PayloadBuilder:
+    """Materialise executable task payloads, one shared library per point.
+
+    Per-point configs and libraries are built on first use only — the
+    same ``library-x{i}`` RNG children as
+    :meth:`~repro.sim.runner.SweepRunner._build_tasks`, so solvers see
+    identical libraries — and points whose every task comes from the
+    cache never pay the library build.
+    """
+
+    def __init__(self, plan: ExperimentPlan, registry: SolverRegistry) -> None:
+        self._plan = plan
+        self._axis = resolve_axis(plan.sweep.axis)
+        self._base = plan.base_config()
+        self._algorithms = plan.algorithms(registry)
+        self._per_point: Dict[int, Tuple[Any, Any]] = {}
+
+    def _point(self, x_index: int):
+        if x_index not in self._per_point:
+            from repro.sim.runner import library_rng_tag
+            from repro.sim.scenario import build_library
+            from repro.utils.rng import RngFactory
+
+            plan = self._plan
+            config = self._axis.apply(
+                self._base, plan.sweep.points[x_index], plan.scale
+            )
+            factory = RngFactory(plan.seed)
+            library = build_library(
+                config, factory.child(library_rng_tag(x_index))
+            )
+            self._per_point[x_index] = (config, library)
+        return self._per_point[x_index]
+
+    def payload(self, task: SweepTask) -> Tuple:
+        """A :func:`~repro.sim.runner._run_sweep_slice` argument."""
+        config, library = self._point(task.x_index)
+        plan = self._plan
+        return (
+            config,
+            [task.scenario_seed],
+            self._algorithms,
+            plan.evaluation,
+            plan.num_realizations,
+            library,
+            plan.feasibility,
+        )
+
+
+def _grid_size(plan: ExperimentPlan) -> int:
+    """Task count of a plan (1 for the study kinds — no grid)."""
+    if plan.kind == "sweep":
+        return len(plan.sweep.points) * plan.num_topologies
+    return 1
+
+
+def _execute_sweep_grid(
+    plan: ExperimentPlan,
+    registry: SolverRegistry,
+    backend: ExecutionBackend,
+    store: Optional[ArtifactStore],
+    key: Optional[str],
+    report: ExecutionReport,
+):
+    """Run (or resume) a sweep plan's grid and fold the uniform result."""
+    from repro.api.run import ResultSet
+    from repro.sim.runner import _run_sweep_slice
+
+    tasks = build_sweep_tasks(plan)
+    outcomes: Dict[str, List[Dict[str, Tuple[float, float]]]] = {}
+    if store is not None and key is not None:
+        for task in tasks:
+            cached = store.load_task(key, task.task_id)
+            if cached is not None:
+                outcomes[task.task_id] = cached
+    report.tasks_total = len(tasks)
+    report.tasks_cached = len(outcomes)
+    report.cache = (
+        "off"
+        if store is None
+        else ("partial" if outcomes else "miss")
+    )
+
+    pending = [task for task in tasks if task.task_id not in outcomes]
+    builder = _PayloadBuilder(plan, registry)
+    results = backend.map(
+        _run_sweep_slice, [builder.payload(task) for task in pending]
+    )
+    # Persist every outcome as soon as the backend yields it: a killed
+    # run leaves its completed prefix behind for the next run to resume.
+    for task, outcome in zip(pending, results):
+        if store is not None and key is not None:
+            store.save_task(key, task.task_id, outcome)
+        outcomes[task.task_id] = outcome
+        report.tasks_run += 1
+
+    # Fold in grid order — exactly the serial loop's nesting, so the
+    # accumulated series are bit-identical for any backend.
+    x_values = list(plan.sweep.points)
+    algorithms = plan.labels(registry)
+    series = {algo: SeriesStats(x_values) for algo in algorithms}
+    runtimes = {algo: SeriesStats(x_values) for algo in algorithms}
+    for task in tasks:
+        for per_algo in outcomes[task.task_id]:
+            for algo in algorithms:
+                score, runtime_s = per_algo[algo]
+                series[algo].add(task.x_index, score)
+                runtimes[algo].add(task.x_index, runtime_s)
+    axis = resolve_axis(plan.sweep.axis)
+    from repro.sim.runner import sweep_metadata
+
+    return ResultSet(
+        name=plan.name,
+        x_label=axis.x_label,
+        x_values=x_values,
+        series=series,
+        runtimes=runtimes,
+        # Identical metadata to the SweepRunner path (workers from the
+        # plan, not the backend): result bytes stay backend-independent.
+        metadata=sweep_metadata(
+            plan.num_topologies, plan.evaluation, plan.seed, plan.workers
+        ),
+        plan=plan,
+    )
+
+
+def execute_plan(
+    plan: ExperimentPlan,
+    registry: SolverRegistry = SOLVERS,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[ArtifactStore] = None,
+):
+    """Execute a plan on a backend with optional artifact caching.
+
+    Returns ``(result, report)``: the uniform
+    :class:`~repro.api.run.ResultSet` plus an :class:`ExecutionReport`
+    describing how it was served (cache hit/partial/miss, task counts).
+    ``repro.api.run_plan(plan, backend=..., store=...)`` is the
+    report-less convenience wrapper.
+    """
+    from repro.api.run import (
+        _run_comparison,
+        _run_mobility,
+        _run_replacement,
+    )
+
+    if backend is None:
+        backend = default_backend(plan)
+    report = ExecutionReport(
+        backend=backend.name, cache="off" if store is None else "miss"
+    )
+
+    key: Optional[str] = None
+    if store is not None:
+        key = plan_cache_key(plan)
+        report.plan_key = key
+        cached = store.load_result(key, registry)
+        if cached is not None:
+            # JSON serialisation keeps only scalar metadata; the study
+            # executors also record the base ScenarioConfig, which is
+            # derivable from the plan — re-attach it so a warm result is
+            # indistinguishable from a cold one to metadata consumers.
+            if plan.kind != "sweep" and "config" not in cached.metadata:
+                cached.metadata["config"] = plan.base_config()
+            report.cache = "hit"
+            report.tasks_total = _grid_size(plan)
+            return cached, report
+
+    if plan.kind == "sweep":
+        result = _execute_sweep_grid(
+            plan, registry, backend, store, key, report
+        )
+    else:
+        # Study kinds have no task grid: run in-process (the executors
+        # replay the legacy seed loops exactly) and cache whole results.
+        # The report says so rather than naming a backend that never ran.
+        report.backend = "in-process"
+        report.tasks_total = 1
+        report.tasks_run = 1
+        if plan.kind == "mobility":
+            result = _run_mobility(plan, registry)
+        elif plan.kind == "replacement":
+            result = _run_replacement(plan, registry)
+        else:
+            result = _run_comparison(plan, registry)
+
+    if store is not None and key is not None:
+        store.save_result(key, result)
+        # The full result supersedes the per-task partials; dropping
+        # them keeps a long-lived cache directory from accumulating one
+        # dead file per (point, topology) per completed plan.
+        store.clear_tasks(key)
+    return result, report

@@ -22,7 +22,6 @@ suite). Only the measured ``runtimes`` vary, as wall-clock always does.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -37,6 +36,41 @@ from repro.utils.tables import format_table
 
 #: An algorithm is anything with ``solve(instance) -> SolverResult``.
 Solver = Any
+
+
+def scenario_seed(root_seed: int, x_index: int, topology_index: int) -> int:
+    """The scenario seed of one (sweep point, topology) grid cell.
+
+    The single source of truth for the sweep seed derivation: the
+    serial loop, the process fan-out and the ``repro.exec`` task grid
+    all call this, so cached/resumed tasks can never fold outcomes
+    computed under a different stream. (Python hashes of int tuples are
+    process-stable; ``PYTHONHASHSEED`` only perturbs str/bytes.)
+    """
+    return hash((root_seed, x_index, topology_index)) % (2**31)
+
+
+def library_rng_tag(x_index: int) -> str:
+    """RNG-child tag of sweep point ``x_index``'s shared model library."""
+    return f"library-x{x_index}"
+
+
+def sweep_metadata(
+    num_topologies: int, evaluation: str, seed: int, workers: int
+) -> Dict[str, Any]:
+    """The metadata dict every executed sweep carries.
+
+    Shared by :meth:`SweepRunner.run` and the ``repro.exec`` grid
+    executor so their results stay byte-identical — a key added to one
+    path cannot silently diverge from the other (cached artifacts
+    embed this dict verbatim).
+    """
+    return {
+        "num_topologies": num_topologies,
+        "evaluation": evaluation,
+        "seed": seed,
+        "workers": workers,
+    }
 
 
 @dataclass
@@ -266,6 +300,13 @@ class SweepRunner:
         Instance representation passed to ``build_scenario``:
         ``"sparse"`` (default, CSR-primary) or ``"dense"`` (the seed's
         up-front tensor; kept for benchmarking the old pipeline).
+    backend:
+        An explicit :class:`~repro.exec.backends.ExecutionBackend` for
+        the task fan-out. ``None`` (default) derives one from
+        ``workers``: in-process for ``workers=1``, a process pool
+        otherwise — the pre-backend behaviour. Any backend yields
+        bit-identical series (seeds are parent-fixed, folding replays
+        the serial order).
     """
 
     def __init__(
@@ -279,6 +320,7 @@ class SweepRunner:
         share_library: bool = True,
         workers: int = 1,
         feasibility: str = "sparse",
+        backend: Optional[Any] = None,
     ) -> None:
         if not algorithms:
             raise ValueError("at least one algorithm is required")
@@ -303,6 +345,7 @@ class SweepRunner:
         self.share_library = share_library
         self.workers = workers
         self.feasibility = feasibility
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def _build_tasks(
@@ -327,10 +370,10 @@ class SweepRunner:
             if self.share_library:
                 factory = RngFactory(self.seed)
                 library = build_library(
-                    config, factory.child(f"library-x{x_index}")
+                    config, factory.child(library_rng_tag(x_index))
                 )
             seeds = [
-                hash((self.seed, x_index, topology_index)) % (2**31)
+                scenario_seed(self.seed, x_index, topology_index)
                 for topology_index in range(self.num_topologies)
             ]
             for start in range(0, self.num_topologies, per_slice):
@@ -370,13 +413,21 @@ class SweepRunner:
         runtimes = {
             algo: SeriesStats(list(x_values)) for algo in self.algorithms
         }
+        # The fan-out lives in the execution-backend layer; the legacy
+        # ``workers`` knob maps onto serial / process-pool backends.
+        # Local import: repro.exec.executor imports this module.
+        from repro.exec.backends import ProcessBackend, SerialBackend
+
         tasks = self._build_tasks(x_values, config_for)
         payloads = [payload for _, payload in tasks]
-        if self.workers > 1:
-            with ProcessPoolExecutor(max_workers=self.workers) as executor:
-                outcomes = list(executor.map(_run_sweep_slice, payloads))
-        else:
-            outcomes = [_run_sweep_slice(payload) for payload in payloads]
+        backend = self.backend
+        if backend is None:
+            backend = (
+                ProcessBackend(workers=self.workers)
+                if self.workers > 1
+                else SerialBackend()
+            )
+        outcomes = list(backend.map(_run_sweep_slice, payloads))
         # Fold in submission order — exactly the serial nesting, so the
         # accumulated series are bit-identical for any worker count.
         for (x_index, _), slice_outcomes in zip(tasks, outcomes):
@@ -391,10 +442,7 @@ class SweepRunner:
             x_values=list(x_values),
             series=series,
             runtimes=runtimes,
-            metadata={
-                "num_topologies": self.num_topologies,
-                "evaluation": self.evaluation,
-                "seed": self.seed,
-                "workers": self.workers,
-            },
+            metadata=sweep_metadata(
+                self.num_topologies, self.evaluation, self.seed, self.workers
+            ),
         )

@@ -16,7 +16,8 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict
+import math
+from typing import Any, Dict, Optional
 
 from repro.core.placement import Placement
 from repro.errors import PlacementError, ReproError
@@ -79,12 +80,24 @@ def placement_from_json(text: str) -> Placement:
     return placement_from_dict(payload)
 
 
+def _extremum(value: float) -> Optional[float]:
+    # Non-finite extrema (empty accumulator's ±inf, legacy-restored NaN)
+    # serialise as null: bare NaN/Infinity tokens are not RFC 8259 JSON
+    # and would make the files unreadable outside Python.
+    return float(value) if math.isfinite(value) else None
+
+
 def _series_to_dict(series: Dict[str, SeriesStats]) -> Dict[str, Any]:
+    # min/max ride along with the Welford moments so a restored
+    # accumulator reports the true observed extrema (not a NaN
+    # placeholder) and the to_json -> from_json round trip is lossless.
     return {
         algo: {
             "mean": [float(v) for v in stats.means],
             "std": [float(v) for v in stats.stds],
             "count": [int(v) for v in stats.counts],
+            "min": [_extremum(v) for v in stats.minima],
+            "max": [_extremum(v) for v in stats.maxima],
         }
         for algo, stats in series.items()
     }
@@ -93,9 +106,16 @@ def _series_to_dict(series: Dict[str, SeriesStats]) -> Dict[str, Any]:
 def _series_from_dict(
     payload: Dict[str, Any], x_values: list
 ) -> Dict[str, SeriesStats]:
+    # "min"/"max" are absent from pre-extrema payloads; from_moments
+    # then falls back to the NaN placeholder for non-empty accumulators.
     return {
         algo: SeriesStats.from_moments(
-            x_values, moments["mean"], moments["std"], moments["count"]
+            x_values,
+            moments["mean"],
+            moments["std"],
+            moments["count"],
+            minima=moments.get("min"),
+            maxima=moments.get("max"),
         )
         for algo, moments in payload.items()
     }

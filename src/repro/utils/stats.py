@@ -100,14 +100,24 @@ class RunningStats:
         return f"RunningStats(n={self._count}, mean={self.mean:.4g}, std={self.std:.4g})"
 
     @classmethod
-    def from_moments(cls, count: int, mean: float, std: float) -> "RunningStats":
-        """Rebuild an accumulator from its serialised (count, mean, std).
+    def from_moments(
+        cls,
+        count: int,
+        mean: float,
+        std: float,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ) -> "RunningStats":
+        """Rebuild an accumulator from its serialised moments.
 
-        Used by the experiment deserialisers. The per-sample extrema are
-        not serialised, so ``minimum``/``maximum`` of the restored
-        accumulator report NaN rather than a confidently wrong number —
-        and stay NaN through further :meth:`add` calls, because the true
-        extrema are unknowable once lost.
+        Used by the experiment deserialisers, which serialise the
+        extrema alongside (count, mean, std) — pass them back here and
+        ``minimum``/``maximum`` report the true observed values,
+        completing the ``to_json -> from_json`` identity. Legacy
+        payloads predating extrema serialisation omit them; the restored
+        accumulator then reports NaN rather than a confidently wrong
+        number — and stays NaN through further :meth:`add` calls,
+        because the true extrema are unknowable once lost.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
@@ -117,8 +127,8 @@ class RunningStats:
         stats._m2 = float(std) ** 2 * max(0, int(count) - 1)
         stats._pinned_std = float(std)
         if count:
-            stats._min = math.nan
-            stats._max = math.nan
+            stats._min = math.nan if minimum is None else float(minimum)
+            stats._max = math.nan if maximum is None else float(maximum)
         return stats
 
 
@@ -167,6 +177,16 @@ class SeriesStats:
         """The per-point accumulator at sweep position ``index``."""
         return self._stats[index]
 
+    @property
+    def minima(self) -> np.ndarray:
+        """Vector of per-point observed minima."""
+        return np.array([s.minimum for s in self._stats])
+
+    @property
+    def maxima(self) -> np.ndarray:
+        """Vector of per-point observed maxima."""
+        return np.array([s.maximum for s in self._stats])
+
     @classmethod
     def from_moments(
         cls,
@@ -174,15 +194,35 @@ class SeriesStats:
         means: Sequence[float],
         stds: Sequence[float],
         counts: Sequence[int],
+        minima: Optional[Sequence[float]] = None,
+        maxima: Optional[Sequence[float]] = None,
     ) -> "SeriesStats":
-        """Rebuild a series from serialised per-point moments."""
+        """Rebuild a series from serialised per-point moments.
+
+        ``minima``/``maxima`` restore the per-point extrema when the
+        payload carries them; omitted (legacy payloads), restored
+        accumulators report NaN extrema.
+        """
         if not (len(x_values) == len(means) == len(stds) == len(counts)):
             raise ValueError("moment vectors must have one entry per x value")
+        for extrema in (minima, maxima):
+            if extrema is not None and len(extrema) != len(x_values):
+                raise ValueError(
+                    "extrema vectors must have one entry per x value"
+                )
         return cls(
             list(x_values),
             [
-                RunningStats.from_moments(count, mean, std)
-                for count, mean, std in zip(counts, means, stds)
+                RunningStats.from_moments(
+                    count,
+                    mean,
+                    std,
+                    minimum=None if minima is None else minima[index],
+                    maximum=None if maxima is None else maxima[index],
+                )
+                for index, (count, mean, std) in enumerate(
+                    zip(counts, means, stds)
+                )
             ],
         )
 

@@ -1,0 +1,99 @@
+"""Tests for the execution backends: ordering, laziness, equivalence."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    LocalClusterBackend,
+    ProcessBackend,
+    SerialBackend,
+    make_backend,
+)
+
+
+def _square(value):
+    return value * value
+
+
+class TestSerialBackend:
+    def test_maps_in_order(self):
+        assert list(SerialBackend().map(_square, [1, 2, 3])) == [1, 4, 9]
+
+    def test_is_lazy(self):
+        calls = []
+
+        def record(value):
+            calls.append(value)
+            return value
+
+        iterator = SerialBackend().map(record, [1, 2, 3])
+        assert calls == []
+        assert next(iterator) == 1
+        assert calls == [1]  # later payloads untouched until consumed
+
+    def test_empty(self):
+        assert list(SerialBackend().map(_square, [])) == []
+
+
+class TestProcessBackend:
+    def test_maps_in_order(self):
+        backend = ProcessBackend(workers=2)
+        assert list(backend.map(_square, list(range(7)))) == [
+            v * v for v in range(7)
+        ]
+
+    def test_chunksize(self):
+        backend = ProcessBackend(workers=2, chunksize=3)
+        assert list(backend.map(_square, list(range(8)))) == [
+            v * v for v in range(8)
+        ]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessBackend(workers=2, chunksize=0)
+
+
+class TestLocalClusterBackend:
+    def test_reinterleaves_shard_outputs(self):
+        # Round-robin sharding must come back in submission order.
+        backend = LocalClusterBackend(shards=3)
+        assert list(backend.map(_square, list(range(10)))) == [
+            v * v for v in range(10)
+        ]
+
+    def test_more_shards_than_payloads(self):
+        backend = LocalClusterBackend(shards=8)
+        assert list(backend.map(_square, [5, 6])) == [25, 36]
+
+    def test_empty(self):
+        assert list(LocalClusterBackend(shards=2).map(_square, [])) == []
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LocalClusterBackend(shards=0)
+        with pytest.raises(ConfigurationError):
+            LocalClusterBackend(shards=2, workers=0)
+
+
+class TestMakeBackend:
+    def test_names(self):
+        assert BACKEND_NAMES == ("serial", "process", "cluster")
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("process", workers=3), ProcessBackend)
+        assert isinstance(make_backend("cluster", workers=3), LocalClusterBackend)
+
+    def test_workers_knob(self):
+        assert make_backend("process", workers=3).workers == 3
+        assert make_backend("cluster", workers=3).shards == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            make_backend("slurm")
+
+    def test_protocol_conformance(self):
+        for name in BACKEND_NAMES:
+            assert isinstance(make_backend(name), ExecutionBackend)

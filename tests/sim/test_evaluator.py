@@ -71,3 +71,61 @@ class TestMonteCarloEvaluation:
             evaluator.monte_carlo_hit_ratio(
                 tight_scenario.instance.new_placement(), 0
             )
+
+    def test_invalid_engine(self, tight_scenario):
+        evaluator = PlacementEvaluator(tight_scenario)
+        with pytest.raises(ValueError, match="engine"):
+            evaluator.monte_carlo_hit_ratio(
+                tight_scenario.instance.new_placement(), 5, engine="cusparse"
+            )
+
+
+class TestMonteCarloSparseEngine:
+    """The CSR walk per fading realisation is pinned to the dense path."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_bit_identical_to_dense(self, tight_scenario, seed):
+        result = TrimCachingGen().solve(tight_scenario.instance)
+        evaluator = PlacementEvaluator(tight_scenario)
+        dense = evaluator.monte_carlo_hit_ratio(
+            result.placement, 40, seed=seed, engine="dense"
+        )
+        sparse = evaluator.monte_carlo_hit_ratio(
+            result.placement, 40, seed=seed, engine="sparse"
+        )
+        # Bit-identical, not approximately equal: the sparse walk
+        # reproduces the dense einsum's booleans exactly and both
+        # engines consume the same RNG stream.
+        assert sparse.mean == dense.mean
+        assert sparse.std == dense.std
+
+    def test_bit_identical_on_dense_primary_instance(self):
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.scenario import build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(num_servers=3, num_users=8, num_models=9),
+            seed=21,
+            feasibility="dense",
+        )
+        result = TrimCachingGen().solve(scenario.instance)
+        evaluator = PlacementEvaluator(scenario)
+        dense = evaluator.monte_carlo_hit_ratio(
+            result.placement, 30, seed=2, engine="dense"
+        )
+        sparse = evaluator.monte_carlo_hit_ratio(
+            result.placement, 30, seed=2, engine="sparse"
+        )
+        assert sparse.mean == dense.mean
+        assert sparse.std == dense.std
+
+    def test_empty_placement_zero_on_both_engines(self, tight_scenario):
+        evaluator = PlacementEvaluator(tight_scenario)
+        empty = tight_scenario.instance.new_placement()
+        for engine in ("dense", "sparse"):
+            assert (
+                evaluator.monte_carlo_hit_ratio(
+                    empty, 10, seed=0, engine=engine
+                ).mean
+                == 0.0
+            )

@@ -115,6 +115,63 @@ class TestExperimentRoundTrip:
         text = experiment_to_json(small_result)
         assert experiment_to_json(experiment_from_json(text)) == text
 
+    def test_extrema_travel_with_the_series(self, small_result):
+        """min/max are serialised and restored — no NaN placeholder."""
+        from repro.sim.serialization import experiment_from_json
+
+        payload = experiment_to_dict(small_result)
+        for moments in payload["series"].values():
+            assert "min" in moments and "max" in moments
+        restored = experiment_from_json(experiment_to_json(small_result))
+        for algo in small_result.series:
+            assert (
+                restored.series[algo].minima
+                == small_result.series[algo].minima
+            ).all()
+            assert (
+                restored.series[algo].maxima
+                == small_result.series[algo].maxima
+            ).all()
+
+    def test_legacy_payload_without_extrema_restores_nan(self, small_result):
+        """Pre-extrema payloads still load; extrema report NaN."""
+        import math
+
+        from repro.sim.serialization import experiment_from_json
+
+        payload = json.loads(experiment_to_json(small_result))
+        for moments in payload["series"].values():
+            moments.pop("min")
+            moments.pop("max")
+        restored = experiment_from_json(json.dumps(payload))
+        stats = restored.series["Gen"].stat_at(0)
+        assert math.isnan(stats.minimum)
+        assert math.isnan(stats.maximum)
+
+    def test_non_finite_extrema_serialise_as_null(self):
+        """NaN/inf extrema become null — output stays strict JSON."""
+        import math
+
+        from repro.sim.runner import ExperimentResult
+        from repro.sim.serialization import experiment_from_json
+        from repro.utils.stats import SeriesStats
+
+        # A legacy-restored series (NaN placeholders) and an empty one
+        # (inf extrema) both re-serialise without bare NaN/Infinity.
+        legacy = SeriesStats.from_moments([1.0], [0.5], [0.1], [3])
+        result = ExperimentResult(
+            name="n", x_label="x", x_values=[1.0],
+            series={"a": legacy, "b": SeriesStats([1.0])},
+        )
+        text = experiment_to_json(result)
+        assert "NaN" not in text and "Infinity" not in text
+        json.loads(text, parse_constant=lambda _: pytest.fail("non-RFC token"))
+        # Round trip is still the identity, with the placeholders back.
+        restored = experiment_from_json(text)
+        assert math.isnan(restored.series["a"].stat_at(0).minimum)
+        assert restored.series["b"].stat_at(0).minimum == math.inf
+        assert experiment_to_json(restored) == text
+
     def test_property_round_trip_identity(self):
         """to_json -> from_json -> to_json is the identity for arbitrary
         accumulated series (property-based)."""

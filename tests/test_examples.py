@@ -24,6 +24,7 @@ class TestExamples:
             "autonomous_driving.py",
             "capacity_planning.py",
             "replacement_study.py",
+            "cached_sweep.py",
         } <= names
 
     @pytest.mark.parametrize(

@@ -71,6 +71,10 @@ class TestPublicApi:
             "repro.sim.serialization",
             "repro.sim.runner",
             "repro.sim.experiments",
+            "repro.exec",
+            "repro.exec.backends",
+            "repro.exec.store",
+            "repro.exec.executor",
             "repro.utils.charts",
             "repro.data",
             "repro.data.resnet",

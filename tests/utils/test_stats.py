@@ -133,3 +133,48 @@ class TestFromMoments:
 
         with pytest.raises(ValueError):
             RunningStats.from_moments(-1, 0.0, 0.0)
+
+    def test_extrema_restored_when_serialised(self):
+        original = RunningStats()
+        original.extend([0.2, 0.9, 0.4])
+        restored = RunningStats.from_moments(
+            original.count,
+            original.mean,
+            original.std,
+            minimum=original.minimum,
+            maximum=original.maximum,
+        )
+        assert restored.minimum == 0.2
+        assert restored.maximum == 0.9
+        restored.add(0.1)  # known extrema keep updating normally
+        assert restored.minimum == 0.1
+        assert restored.maximum == 0.9
+
+    def test_empty_restored_extrema_are_fresh(self):
+        restored = RunningStats.from_moments(0, 0.0, 0.0)
+        assert restored.minimum == math.inf
+        assert restored.maximum == -math.inf
+        restored.add(0.5)
+        assert restored.minimum == 0.5
+        assert restored.maximum == 0.5
+
+    def test_series_extrema_round_trip(self):
+        series = SeriesStats([1.0, 2.0])
+        series.add_run([0.3, 0.8])
+        series.add_run([0.5, 0.2])
+        restored = SeriesStats.from_moments(
+            [1.0, 2.0],
+            series.means.tolist(),
+            series.stds.tolist(),
+            series.counts.tolist(),
+            minima=series.minima.tolist(),
+            maxima=series.maxima.tolist(),
+        )
+        assert (restored.minima == np.array([0.3, 0.2])).all()
+        assert (restored.maxima == np.array([0.5, 0.8])).all()
+
+    def test_series_extrema_length_checked(self):
+        with pytest.raises(ValueError, match="extrema"):
+            SeriesStats.from_moments(
+                [1.0, 2.0], [0.5, 0.5], [0.0, 0.0], [1, 1], minima=[0.5]
+            )
