@@ -10,6 +10,8 @@ Usage::
     python -m repro sweep --axis capacity --algos spec,gen,independent
     python -m repro sweep --axis users --points 10,30,50 --engine sparse
     python -m repro sweep --plan plan.json --backend process --cache-dir .cache
+    python -m repro sweep --plan plan.json --backend remote --retries 3 \
+        --chaos kill-worker:2
     trimcaching fig7 --runs 3
 
 Every command prints the reproduced table to stdout. The ``sweep``
@@ -19,7 +21,10 @@ solvers — the per-figure commands are just pre-baked plans. With
 ``--plan`` it executes a serialised plan file instead; ``--backend``
 picks the execution substrate (bit-identical series on all of them) and
 ``--cache-dir`` enables content-addressed result caching with mid-sweep
-resume (an unchanged re-run is a pure cache hit).
+resume (an unchanged re-run is a pure cache hit). ``--retries``,
+``--task-timeout`` and ``--heartbeat`` configure the fault layer (the
+``remote`` backend survives worker crashes with bit-identical results),
+and ``--chaos`` injects a deterministic fault schedule for drills.
 """
 
 from __future__ import annotations
@@ -271,11 +276,32 @@ def _generic_sweep(args: argparse.Namespace) -> str:
     if args.dry_run:
         return plan_to_json(plan)
 
+    fault_flags = (args.retries, args.task_timeout, args.heartbeat, args.chaos)
+    if args.backend is None and any(flag is not None for flag in fault_flags):
+        raise ConfigurationError(
+            "--retries/--task-timeout/--heartbeat/--chaos require an "
+            "explicit --backend"
+        )
     backend = None
     if args.backend is not None:
-        from repro.exec import make_backend
+        from repro.exec import ChaosPolicy, default_retry_policy, make_backend
 
-        backend = make_backend(args.backend, workers=plan.workers)
+        backend = make_backend(
+            args.backend,
+            workers=plan.workers,
+            retry=(
+                default_retry_policy(args.retries)
+                if args.retries is not None
+                else None
+            ),
+            heartbeat_interval=args.heartbeat,
+            task_timeout=args.task_timeout,
+            chaos=(
+                ChaosPolicy.parse(args.chaos)
+                if args.chaos is not None
+                else None
+            ),
+        )
     store = None
     if args.cache_dir is not None:
         from repro.exec import ArtifactStore
@@ -369,16 +395,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("serial", "process", "cluster"),
+        choices=("serial", "process", "cluster", "remote"),
         default=None,
         help="execution backend for the task grid (bit-identical series "
-        "on all; process/cluster width follows --workers)",
+        "on all; process/cluster/remote width follows --workers)",
     )
     p.add_argument(
         "--cache-dir",
         default=None,
         help="content-addressed artifact store: unchanged re-runs are "
         "pure cache hits and killed sweeps resume from completed tasks",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="retries per task on transient failures (worker death, "
+        "dropped connection, timeout), then in-process degradation; "
+        "results stay bit-identical (default: fail fast, typed error)",
+    )
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="straggler deadline in seconds (remote backend): past it a "
+        "task is re-dispatched to an idle worker, past twice it the "
+        "wedged worker is declared lost",
+    )
+    p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=None,
+        help="remote-worker heartbeat interval in seconds (liveness "
+        "timeout is five intervals; default 0.2)",
+    )
+    p.add_argument(
+        "--chaos",
+        default=None,
+        help="deterministic fault injection on the remote backend, e.g. "
+        "'kill-worker:2', 'drop-conn:1,straggle:3x0.5' (facets: "
+        "kill-worker:N[xLIMIT], drop-conn:N[xLIMIT], "
+        "heartbeat-delay:S, straggle:EVERYxSECONDS, seed:S)",
     )
     p.add_argument(
         "--points",

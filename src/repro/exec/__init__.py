@@ -3,10 +3,15 @@
 The layer between a declarative :class:`~repro.api.plan.ExperimentPlan`
 and the solvers: *where* its task grid runs
 (:mod:`repro.exec.backends` — serial, process pool, local cluster
-shards, all bit-identical) and *whether it needs to run at all*
-(:mod:`repro.exec.store` — a content-addressed cache of full results
-and per-task partials, keyed on the canonical serialised plan plus a
-code-version salt).
+shards, fault-tolerant remote socket workers, all bit-identical),
+*whether it needs to run at all* (:mod:`repro.exec.store` — a
+content-addressed cache of full results and per-task partials, keyed on
+the canonical serialised plan plus a code-version salt), and *what
+happens when the substrate fails* (:mod:`repro.exec.faults` +
+:mod:`repro.exec.retry` — a deterministic/transient failure taxonomy,
+bounded retries with deterministic backoff jitter, straggler
+re-dispatch and graceful in-process degradation, plus a seeded
+:class:`ChaosPolicy` fault-injection harness).
 
 Entry points:
 
@@ -14,8 +19,9 @@ Entry points:
   returning ``(ResultSet, ExecutionReport)``;
 * ``repro.api.run_plan(plan, backend=..., store=...)`` — the same,
   report-less;
-* ``python -m repro sweep --plan plan.json --backend process
-  --cache-dir .cache`` — the CLI front end (resumable, cache-hitting).
+* ``python -m repro sweep --plan plan.json --backend remote
+  --retries 3 --cache-dir .cache`` — the CLI front end (resumable,
+  cache-hitting, crash-surviving).
 """
 
 from repro.exec.backends import (
@@ -33,6 +39,18 @@ from repro.exec.executor import (
     default_backend,
     execute_plan,
 )
+from repro.exec.faults import (
+    ArtifactChaos,
+    ChaosPolicy,
+    ExecutionError,
+    FaultStats,
+    TaskError,
+    TaskTimeout,
+    WorkerLost,
+    is_transient,
+)
+from repro.exec.remote import REMOTE_DEFAULT_RETRY, RemoteClusterBackend
+from repro.exec.retry import NO_RETRY, RetryPolicy, default_retry_policy
 from repro.exec.store import (
     CODE_VERSION_SALT,
     ArtifactStore,
@@ -46,6 +64,7 @@ __all__ = [
     "SerialBackend",
     "ProcessBackend",
     "LocalClusterBackend",
+    "RemoteClusterBackend",
     "make_backend",
     "ArtifactStore",
     "plan_cache_key",
@@ -56,4 +75,16 @@ __all__ = [
     "SweepTask",
     "build_sweep_tasks",
     "default_backend",
+    "ExecutionError",
+    "TaskError",
+    "WorkerLost",
+    "TaskTimeout",
+    "is_transient",
+    "FaultStats",
+    "ChaosPolicy",
+    "ArtifactChaos",
+    "RetryPolicy",
+    "NO_RETRY",
+    "REMOTE_DEFAULT_RETRY",
+    "default_retry_policy",
 ]

@@ -81,24 +81,56 @@ class ExecutionReport:
     tasks_total: int = 0
     tasks_cached: int = 0
     tasks_run: int = 0
+    # Fault-layer counters (folded from the backend's FaultStats; all
+    # zero on a failure-free run). Results stay bit-identical whatever
+    # these say — they describe *how* the run survived, never *what* it
+    # computed.
+    retries: int = 0
+    workers_lost: int = 0
+    re_dispatched: int = 0
+    degraded: int = 0
+
+    def record_faults(self, stats) -> None:
+        """Fold a backend's :class:`~repro.exec.faults.FaultStats` in."""
+        if stats is None:
+            return
+        self.retries += stats.retries
+        self.workers_lost += stats.workers_lost
+        self.re_dispatched += stats.re_dispatched
+        self.degraded += stats.degraded
+
+    def _fault_suffix(self) -> str:
+        """The ``, N retried, ...`` tail (empty on a failure-free run)."""
+        pieces = [
+            f"{count} {label}"
+            for count, label in (
+                (self.retries, "retried"),
+                (self.workers_lost, "worker(s) lost"),
+                (self.re_dispatched, "re-dispatched"),
+                (self.degraded, "degraded in-process"),
+            )
+            if count
+        ]
+        return ", " + ", ".join(pieces) if pieces else ""
 
     def summary(self) -> str:
         """One human line for the CLI footer."""
+        faults = self._fault_suffix()
         if self.cache == "off":
             return (
                 f"backend {self.backend}: ran {self.tasks_run} task(s), "
-                "cache off"
+                f"cache off{faults}"
             )
         key = (self.plan_key or "")[:12]
         if self.cache == "hit":
             return (
                 f"cache hit — plan {key}, 0/{self.tasks_total} tasks run "
-                f"(backend {self.backend})"
+                f"(backend {self.backend}){faults}"
             )
         return (
             f"cache {self.cache} — plan {key}, {self.tasks_run}/"
             f"{self.tasks_total} tasks run, {self.tasks_cached} restored "
-            f"(backend {self.backend})"
+            f"(backend {self.backend}){faults}"
         )
 
 
@@ -224,11 +256,17 @@ def _execute_sweep_grid(
     )
     # Persist every outcome as soon as the backend yields it: a killed
     # run leaves its completed prefix behind for the next run to resume.
-    for task, outcome in zip(pending, results):
-        if store is not None and key is not None:
-            store.save_task(key, task.task_id, outcome)
-        outcomes[task.task_id] = outcome
-        report.tasks_run += 1
+    try:
+        for task, outcome in zip(pending, results):
+            if store is not None and key is not None:
+                store.save_task(key, task.task_id, outcome)
+            outcomes[task.task_id] = outcome
+            report.tasks_run += 1
+    finally:
+        # Whatever happened — success, a typed ExecutionError, a kill —
+        # fold the backend's fault counters into the report so partial
+        # runs still account their retries and lost workers.
+        report.record_faults(getattr(backend, "stats", None))
 
     # Fold in grid order — exactly the serial loop's nesting, so the
     # accumulated series are bit-identical for any backend.

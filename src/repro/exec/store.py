@@ -159,7 +159,9 @@ class ArtifactStore:
         path = self.result_path(key)
         try:
             text = path.read_text()
-        except OSError:
+        except (OSError, UnicodeDecodeError):
+            # A torn write can leave invalid UTF-8 on disk; that file is
+            # as much a miss as a missing one.
             return None
         try:
             return result_set_from_json(text, registry)
@@ -197,7 +199,7 @@ class ArtifactStore:
         path = self.task_path(key, task_id)
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
             return None
         if (
             not isinstance(payload, dict)

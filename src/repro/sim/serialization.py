@@ -218,6 +218,32 @@ def result_set_from_json(text: str, registry=None):
     return result_set_from_dict(payload, registry)
 
 
+def result_set_content_json(source) -> str:
+    """Canonical JSON of everything **deterministic** in a result set.
+
+    The repo invariant says every execution substrate must produce the
+    same bits — but a result set also embeds per-solver wall-clock
+    *runtimes*, which are measurements of the machine, not of the
+    experiment: they differ between two serial runs of the very same
+    plan. This view drops that one series and serialises the rest
+    canonically (sorted keys, compact separators), so the equivalence
+    suites and CI can compare executions with ``==``/``cmp`` — exact,
+    never approximate — across backends, chaos schedules and resumes.
+
+    ``source`` is a :class:`~repro.api.run.ResultSet` or its JSON text.
+    """
+    if isinstance(source, str):
+        try:
+            payload = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"invalid result-set JSON: {exc}") from exc
+    else:
+        payload = result_set_to_dict(source)
+    if isinstance(payload.get("experiment"), dict):
+        payload["experiment"].pop("runtimes", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def experiment_to_csv(result: ExperimentResult) -> str:
     """Serialise a reproduced figure to CSV (one row per sweep point)."""
     buffer = io.StringIO()

@@ -1,4 +1,7 @@
-"""Tests for the execution backends: ordering, laziness, equivalence."""
+"""Tests for the execution backends: ordering, laziness, equivalence,
+and the fault layer (typed errors, retries, in-process degradation)."""
+
+import os
 
 import pytest
 
@@ -11,10 +14,62 @@ from repro.exec.backends import (
     SerialBackend,
     make_backend,
 )
+from repro.exec.faults import ChaosPolicy, TaskError, WorkerLost
+from repro.exec.retry import RetryPolicy
+
+#: A fast retry policy for tests: no backoff waits, still retries.
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base_s=0.0, backoff_max_s=0.0, jitter=0.0
+)
+FAST_DEGRADE = RetryPolicy(
+    max_attempts=1,
+    backoff_base_s=0.0,
+    backoff_max_s=0.0,
+    jitter=0.0,
+    degrade_in_process=True,
+)
 
 
 def _square(value):
     return value * value
+
+
+def _raise_on_three(value):
+    if value == 3:
+        raise ValueError(f"boom at {value}")
+    return value * value
+
+
+def _die_once_then_square(payload):
+    """Kill the worker process the first time any task runs.
+
+    The marker file is created with exclusive-create semantics, so
+    exactly one execution dies however the pool races; every later
+    execution (retry or degradation) computes normally.
+    """
+    marker, value = payload
+    try:
+        with open(marker, "x"):
+            pass
+    except FileExistsError:
+        return value * value
+    os._exit(1)
+
+
+def _die_outside_parent(payload):
+    """Kill any worker process; only the parent can run this task."""
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return value * value
+
+
+def _die_in_worker_raise_in_parent(payload):
+    """Kill workers outright; raise when finally run in the parent."""
+    parent_pid, value = payload
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    raise ValueError(f"parent boom at {value}")
 
 
 class TestSerialBackend:
@@ -56,6 +111,57 @@ class TestProcessBackend:
         with pytest.raises(ConfigurationError):
             ProcessBackend(workers=2, chunksize=0)
 
+    def test_task_exception_is_a_typed_task_error(self):
+        # A task-function exception must fail fast as TaskError naming
+        # the exact grid index — never retried, never a raw pool error.
+        backend = ProcessBackend(workers=2, retry=FAST_RETRY)
+        with pytest.raises(TaskError, match="boom at 3") as info:
+            list(backend.map(_raise_on_three, list(range(6))))
+        assert info.value.task_index == 3
+        assert backend.stats.retries == 0
+
+    def test_task_error_names_index_inside_chunks(self):
+        backend = ProcessBackend(workers=1, chunksize=3)
+        with pytest.raises(TaskError) as info:
+            list(backend.map(_raise_on_three, list(range(6))))
+        assert info.value.task_index == 3
+
+    def test_worker_death_without_retry_is_typed(self, tmp_path):
+        backend = ProcessBackend(workers=1)
+        payloads = [(str(tmp_path / "marker"), v) for v in range(3)]
+        with pytest.raises(WorkerLost) as info:
+            list(backend.map(_die_once_then_square, payloads))
+        assert info.value.task_index is not None
+        assert backend.stats.workers_lost >= 1
+
+    def test_worker_death_is_retried_to_the_right_answer(self, tmp_path):
+        backend = ProcessBackend(workers=1, retry=FAST_RETRY)
+        payloads = [(str(tmp_path / "marker"), v) for v in range(4)]
+        assert list(backend.map(_die_once_then_square, payloads)) == [
+            v * v for v in range(4)
+        ]
+        assert backend.stats.workers_lost >= 1
+        assert backend.stats.retries >= 1
+
+    def test_degrades_in_process_when_retries_exhausted(self):
+        # Every worker execution dies; the degradation rung finishes the
+        # grid in the parent instead of failing the sweep.
+        backend = ProcessBackend(workers=1, retry=FAST_DEGRADE)
+        payloads = [(os.getpid(), v) for v in range(3)]
+        assert list(backend.map(_die_outside_parent, payloads)) == [
+            v * v for v in range(3)
+        ]
+        assert backend.stats.degraded == 3
+
+    def test_degraded_task_exception_is_still_a_task_error(self):
+        # Workers die, degradation kicks in, and the task then raises in
+        # the parent: still a typed TaskError, never a raw TaskFailure.
+        backend = ProcessBackend(workers=1, retry=FAST_DEGRADE)
+        payloads = [(os.getpid(), v) for v in range(2)]
+        with pytest.raises(TaskError, match="degradation") as info:
+            list(backend.map(_die_in_worker_raise_in_parent, payloads))
+        assert info.value.task_index == 0
+
 
 class TestLocalClusterBackend:
     def test_reinterleaves_shard_outputs(self):
@@ -78,13 +184,52 @@ class TestLocalClusterBackend:
         with pytest.raises(ConfigurationError):
             LocalClusterBackend(shards=2, workers=0)
 
+    def test_task_exception_is_a_typed_task_error(self):
+        backend = LocalClusterBackend(shards=2, workers=1)
+        with pytest.raises(TaskError, match="boom at 3") as info:
+            list(backend.map(_raise_on_three, list(range(6))))
+        assert info.value.task_index == 3
+
+    def test_shard_death_without_retry_is_typed(self, tmp_path):
+        backend = LocalClusterBackend(shards=1, workers=1)
+        payloads = [(str(tmp_path / "marker"), v) for v in range(3)]
+        with pytest.raises(WorkerLost, match="shard job") as info:
+            list(backend.map(_die_once_then_square, payloads))
+        assert info.value.task_index is not None
+        assert backend.stats.workers_lost >= 1
+
+    def test_shard_death_is_retried_to_the_right_answer(self, tmp_path):
+        backend = LocalClusterBackend(shards=2, workers=1, retry=FAST_RETRY)
+        payloads = [(str(tmp_path / "marker"), v) for v in range(4)]
+        assert list(backend.map(_die_once_then_square, payloads)) == [
+            v * v for v in range(4)
+        ]
+        assert backend.stats.retries >= 1
+
+    def test_degrades_in_process_when_retries_exhausted(self):
+        backend = LocalClusterBackend(
+            shards=2, workers=1, retry=FAST_DEGRADE
+        )
+        payloads = [(os.getpid(), v) for v in range(4)]
+        assert list(backend.map(_die_outside_parent, payloads)) == [
+            v * v for v in range(4)
+        ]
+        assert backend.stats.degraded == 4
+
 
 class TestMakeBackend:
     def test_names(self):
-        assert BACKEND_NAMES == ("serial", "process", "cluster")
+        assert BACKEND_NAMES == ("serial", "process", "cluster", "remote")
         assert isinstance(make_backend("serial"), SerialBackend)
         assert isinstance(make_backend("process", workers=3), ProcessBackend)
         assert isinstance(make_backend("cluster", workers=3), LocalClusterBackend)
+
+    def test_remote_name(self):
+        from repro.exec.remote import RemoteClusterBackend
+
+        backend = make_backend("remote", workers=3)
+        assert isinstance(backend, RemoteClusterBackend)
+        assert backend.workers == 3
 
     def test_workers_knob(self):
         assert make_backend("process", workers=3).workers == 3
@@ -93,6 +238,35 @@ class TestMakeBackend:
     def test_unknown_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown backend"):
             make_backend("slurm")
+
+    def test_retry_threads_through(self):
+        assert make_backend("process", retry=FAST_RETRY).retry is FAST_RETRY
+        assert make_backend("cluster", retry=FAST_RETRY).retry is FAST_RETRY
+        assert make_backend("remote", retry=FAST_RETRY).retry is FAST_RETRY
+
+    def test_serial_rejects_retry(self):
+        with pytest.raises(ConfigurationError, match="no failure domain"):
+            make_backend("serial", retry=FAST_RETRY)
+
+    def test_remote_only_flags_rejected_elsewhere(self):
+        with pytest.raises(ConfigurationError, match="--heartbeat"):
+            make_backend("process", heartbeat_interval=0.1)
+        with pytest.raises(ConfigurationError, match="--task-timeout"):
+            make_backend("cluster", task_timeout=1.0)
+        with pytest.raises(ConfigurationError, match="--chaos"):
+            make_backend("serial", chaos=ChaosPolicy(kill_after=1))
+
+    def test_remote_flags_accepted(self):
+        backend = make_backend(
+            "remote",
+            workers=2,
+            heartbeat_interval=0.1,
+            task_timeout=5.0,
+            chaos=ChaosPolicy(kill_after=1),
+        )
+        assert backend.heartbeat_interval == 0.1
+        assert backend.task_timeout == 5.0
+        assert backend.chaos.kill_after == 1
 
     def test_protocol_conformance(self):
         for name in BACKEND_NAMES:

@@ -12,8 +12,10 @@ from repro.api import ExperimentPlan, SolverSpec, SweepSpec, run_plan
 from repro.exec import (
     ArtifactStore,
     ExecutionReport,
+    FaultStats,
     LocalClusterBackend,
     ProcessBackend,
+    RemoteClusterBackend,
     SerialBackend,
     build_sweep_tasks,
     execute_plan,
@@ -107,6 +109,7 @@ class TestBackendEquivalence:
             SerialBackend(),
             ProcessBackend(workers=2),
             LocalClusterBackend(shards=3),
+            RemoteClusterBackend(workers=2, heartbeat_interval=0.05),
         ):
             result, report = execute_plan(plan, backend=backend)
             assert_same_series(plain, result)
@@ -243,3 +246,92 @@ class TestResume:
         assert "cache hit" in hit.summary()
         nocache = ExecutionReport(backend="serial", cache="off", tasks_run=3)
         assert "cache off" in nocache.summary()
+
+
+class FaultyStatsBackend:
+    """Serial backend that pretends its run survived some faults."""
+
+    name = "faulty"
+
+    def __init__(self, **counters):
+        self._counters = counters
+        self._inner = SerialBackend()
+        self.stats = FaultStats()
+
+    def map(self, fn, payloads):
+        self.stats = FaultStats(**self._counters)
+        return self._inner.map(fn, payloads)
+
+
+class TestFaultReporting:
+    def test_backend_stats_fold_into_the_report(self):
+        backend = FaultyStatsBackend(retries=2, workers_lost=1, degraded=3)
+        _, report = execute_plan(make_plan(), backend=backend)
+        assert report.retries == 2
+        assert report.workers_lost == 1
+        assert report.re_dispatched == 0
+        assert report.degraded == 3
+
+    def test_summary_prints_fault_counters(self):
+        backend = FaultyStatsBackend(retries=2, workers_lost=1)
+        _, report = execute_plan(make_plan(), backend=backend)
+        summary = report.summary()
+        assert "2 retried" in summary
+        assert "1 worker(s) lost" in summary
+        assert "re-dispatched" not in summary  # zero counters stay out
+
+    def test_clean_run_summary_has_no_fault_tail(self):
+        _, report = execute_plan(make_plan(), backend=SerialBackend())
+        assert report.retries == 0
+        assert "retried" not in report.summary()
+
+    def test_counters_survive_a_mid_sweep_failure(self, tmp_path):
+        # Even when the map iteration dies, the report must account the
+        # faults the backend recorded up to the failure.
+        class DoomedBackend(FaultyStatsBackend):
+            def map(self, fn, payloads):
+                self.stats = FaultStats(**self._counters)
+
+                def _iterate():
+                    raise RuntimeError("substrate imploded")
+                    yield  # pragma: no cover
+
+                return _iterate()
+
+        backend = DoomedBackend(workers_lost=4)
+        with pytest.raises(RuntimeError, match="substrate imploded"):
+            execute_plan(make_plan(), backend=backend)
+
+
+class TestRetryDeterminism:
+    def test_exactly_k_transient_failures_are_invisible(self):
+        # Both initial workers are armed to die on their 3rd task
+        # receipt: exactly K=2 tasks are lost and retried. The result's
+        # deterministic content must be byte-identical to serial and
+        # the report must record exactly K retries.
+        from repro.exec.faults import ChaosPolicy
+        from repro.exec.retry import RetryPolicy
+        from repro.sim.serialization import result_set_content_json
+
+        plan = make_plan()
+        serial_result, _ = execute_plan(plan, backend=SerialBackend())
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=RetryPolicy(
+                max_attempts=3,
+                backoff_base_s=0.0,
+                backoff_max_s=0.0,
+                jitter=0.0,
+                degrade_in_process=True,
+            ),
+            heartbeat_interval=0.05,
+            chaos=ChaosPolicy(kill_after=2, kill_limit=2),
+        )
+        chaotic, report = execute_plan(plan, backend=backend)
+        assert report.retries == 2
+        assert report.workers_lost == 2
+        assert report.degraded == 0
+        assert_same_series(serial_result, chaotic)
+        assert result_set_content_json(chaotic) == result_set_content_json(
+            serial_result
+        )

@@ -1,0 +1,199 @@
+"""Tests for the fault-tolerant remote socket backend.
+
+Exercises every recovery path with deterministic chaos: worker kills,
+dropped connections, silent heartbeats, stragglers, retry exhaustion
+and in-process degradation — asserting results stay correct and in
+submission order under all of them.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.faults import ChaosPolicy, TaskError, WorkerLost
+from repro.exec.remote import RemoteClusterBackend
+from repro.exec.retry import RetryPolicy
+
+#: Fast knobs so chaos runs finish in well under a second each.
+FAST = dict(heartbeat_interval=0.05)
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, backoff_base_s=0.0, backoff_max_s=0.0, jitter=0.0
+)
+FAST_DEGRADE = RetryPolicy(
+    max_attempts=1,
+    backoff_base_s=0.0,
+    backoff_max_s=0.0,
+    jitter=0.0,
+    degrade_in_process=True,
+)
+
+
+def _square(value):
+    return value * value
+
+
+def _slow_square(payload):
+    duration, value = payload
+    time.sleep(duration)
+    return value * value
+
+
+def _raise_on_three(value):
+    if value == 3:
+        raise ValueError(f"boom at {value}")
+    return value * value
+
+
+class TestHappyPath:
+    def test_maps_in_order(self):
+        backend = RemoteClusterBackend(workers=2, **FAST)
+        assert list(backend.map(_square, list(range(8)))) == [
+            v * v for v in range(8)
+        ]
+        assert not backend.stats.any()
+
+    def test_single_worker(self):
+        backend = RemoteClusterBackend(workers=1, **FAST)
+        assert list(backend.map(_square, [3, 1, 2])) == [9, 1, 4]
+
+    def test_empty(self):
+        backend = RemoteClusterBackend(workers=2, **FAST)
+        assert list(backend.map(_square, [])) == []
+
+    def test_more_workers_than_tasks(self):
+        backend = RemoteClusterBackend(workers=4, **FAST)
+        assert list(backend.map(_square, [5])) == [25]
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            RemoteClusterBackend(workers=0)
+        with pytest.raises(ConfigurationError):
+            RemoteClusterBackend(heartbeat_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            RemoteClusterBackend(heartbeat_timeout=-1.0)
+        with pytest.raises(ConfigurationError):
+            RemoteClusterBackend(task_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            RemoteClusterBackend(max_restarts=-1)
+
+
+class TestDeterministicFailures:
+    def test_task_exception_fails_fast_as_task_error(self):
+        # Whatever the retry policy says: a raising task is
+        # deterministic, so retrying cannot help.
+        backend = RemoteClusterBackend(workers=2, retry=FAST_RETRY, **FAST)
+        with pytest.raises(TaskError, match="boom at 3") as info:
+            list(backend.map(_raise_on_three, list(range(6))))
+        assert info.value.task_index == 3
+        assert backend.stats.retries == 0
+
+
+class TestTransientFailures:
+    def test_killed_worker_is_retried(self):
+        # Worker 0 dies on receiving its 3rd task: exactly one in-flight
+        # task is lost, re-queued and recomputed to the same answer.
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=FAST_RETRY,
+            chaos=ChaosPolicy(kill_after=2),
+            **FAST,
+        )
+        assert list(backend.map(_square, list(range(8)))) == [
+            v * v for v in range(8)
+        ]
+        assert backend.stats.workers_lost == 1
+        assert backend.stats.retries == 1
+
+    def test_dropped_connection_loses_no_completed_work(self):
+        # The armed worker closes its connection after *completing* a
+        # task: every result it already sent is kept. At most the one
+        # task the parent races onto the dying socket is retried.
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=FAST_RETRY,
+            chaos=ChaosPolicy(drop_after=2),
+            **FAST,
+        )
+        assert list(backend.map(_square, list(range(8)))) == [
+            v * v for v in range(8)
+        ]
+        assert backend.stats.workers_lost == 1
+        assert backend.stats.retries <= 1
+
+    def test_silent_heartbeat_declares_the_worker_lost(self):
+        # Worker 0's heartbeats arrive ~1s late while its task takes
+        # 0.5s: the liveness monitor declares it dead mid-task and a
+        # fresh (unarmed) replacement recomputes the task.
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=FAST_RETRY,
+            heartbeat_interval=0.05,
+            heartbeat_timeout=0.3,
+            chaos=ChaosPolicy(heartbeat_delay_s=1.0),
+        )
+        payloads = [(0.5, v) for v in range(4)]
+        assert list(backend.map(_slow_square, payloads)) == [
+            v * v for v in range(4)
+        ]
+        assert backend.stats.workers_lost >= 1
+        assert backend.stats.retries >= 1
+
+    def test_straggler_is_redispatched(self):
+        # Task 0 straggles for 2s on worker 0; past task_timeout it is
+        # speculatively re-dispatched to an idle worker, whose copy wins.
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=FAST_RETRY,
+            task_timeout=0.3,
+            chaos=ChaosPolicy(straggle_every=100, straggle_s=2.0),
+            **FAST,
+        )
+        assert list(backend.map(_square, list(range(6)))) == [
+            v * v for v in range(6)
+        ]
+        assert backend.stats.re_dispatched >= 1
+
+    def test_no_retry_raises_typed_worker_lost(self):
+        backend = RemoteClusterBackend(
+            workers=1,
+            retry=RetryPolicy(max_attempts=1),
+            chaos=ChaosPolicy(kill_after=0),
+            **FAST,
+        )
+        with pytest.raises(WorkerLost) as info:
+            list(backend.map(_square, list(range(3))))
+        assert info.value.task_index is not None
+
+    def test_pool_exhaustion_degrades_in_process(self):
+        # Every armed worker (and there are more arming grants than
+        # restart budget) dies on its first task; the sweep must still
+        # complete via the in-process rung.
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=FAST_DEGRADE,
+            chaos=ChaosPolicy(kill_after=0, kill_limit=99),
+            max_restarts=1,
+            **FAST,
+        )
+        assert list(backend.map(_square, list(range(4)))) == [
+            v * v for v in range(4)
+        ]
+        assert backend.stats.degraded == 4
+        assert backend.stats.workers_lost >= 2
+
+    def test_stats_reset_between_map_calls(self):
+        backend = RemoteClusterBackend(
+            workers=2,
+            retry=FAST_RETRY,
+            chaos=ChaosPolicy(kill_after=2),
+            **FAST,
+        )
+        list(backend.map(_square, list(range(8))))
+        assert backend.stats.any()
+        # Chaos re-arms worker ids 0..kill_limit-1 every map call, but
+        # the stats must describe only the latest call.
+        list(backend.map(_square, [1]))
+        assert backend.stats.workers_lost <= 1

@@ -1,0 +1,90 @@
+"""Tests for the retry policy: budgets, deterministic backoff, defaults."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.retry import (
+    NO_RETRY,
+    RetryPolicy,
+    default_retry_policy,
+)
+
+
+class TestValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestBudget:
+    def test_retries_is_attempts_minus_one(self):
+        assert RetryPolicy(max_attempts=4).retries == 3
+        assert NO_RETRY.retries == 0
+
+    def test_exhaustion(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(1)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+
+    def test_no_retry_exhausts_on_first_failure(self):
+        assert NO_RETRY.exhausted(1)
+
+
+class TestBackoff:
+    def test_deterministic_for_same_task_and_attempt(self):
+        # The whole retry timeline of a run must be reproducible: same
+        # task (jitter seed) + same attempt -> exactly the same wait.
+        policy = RetryPolicy(max_attempts=5)
+        assert policy.delay_s(2, 17) == policy.delay_s(2, 17)
+
+    def test_distinct_tasks_desynchronise(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.5)
+        assert policy.delay_s(1, 0) != policy.delay_s(1, 1)
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            backoff_base_s=0.1,
+            backoff_factor=2.0,
+            backoff_max_s=0.4,
+            jitter=0.0,
+        )
+        assert policy.delay_s(1, 0) == pytest.approx(0.1)
+        assert policy.delay_s(2, 0) == pytest.approx(0.2)
+        assert policy.delay_s(3, 0) == pytest.approx(0.4)
+        assert policy.delay_s(4, 0) == pytest.approx(0.4)  # capped
+
+    def test_jitter_bounded_by_amplitude(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=1.0, backoff_max_s=1.0, jitter=0.25
+        )
+        for seed in range(50):
+            delay = policy.delay_s(1, seed)
+            assert 1.0 <= delay < 1.25
+
+    def test_attempt_zero_is_free(self):
+        assert RetryPolicy(max_attempts=2).delay_s(0, 0) == 0.0
+
+
+class TestDefaults:
+    def test_no_retry_fails_fast(self):
+        assert NO_RETRY.max_attempts == 1
+        assert not NO_RETRY.degrade_in_process
+
+    def test_cli_default_degrades(self):
+        # --retries N means: N retries, then finish in-process rather
+        # than failing the sweep.
+        policy = default_retry_policy(3)
+        assert policy.max_attempts == 4
+        assert policy.degrade_in_process
+
+    def test_cli_default_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            default_retry_policy(-1)

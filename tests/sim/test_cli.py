@@ -355,3 +355,138 @@ class TestPlanFileSweep:
         plan_file = self._write_plan(tmp_path, capsys)
         assert main(["sweep", "--plan", str(plan_file), "--dry-run"]) == 0
         assert capsys.readouterr().out.strip() == plan_file.read_text().strip()
+
+
+class TestFaultFlags:
+    """The --retries / --task-timeout / --heartbeat / --chaos flags."""
+
+    def _write_plan(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "capacity",
+                    "--points",
+                    "0.5",
+                    "--algos",
+                    "gen",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                    "--dry-run",
+                ]
+            )
+            == 0
+        )
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(capsys.readouterr().out)
+        return plan_file
+
+    def test_fault_flags_require_explicit_backend(self, tmp_path, capsys):
+        plan_file = self._write_plan(tmp_path, capsys)
+        assert main(["sweep", "--plan", str(plan_file), "--retries", "2"]) == 2
+        assert "require an explicit --backend" in capsys.readouterr().err
+
+    def test_remote_only_flags_rejected_on_process(self, tmp_path, capsys):
+        plan_file = self._write_plan(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--plan",
+                    str(plan_file),
+                    "--backend",
+                    "process",
+                    "--chaos",
+                    "kill-worker:1",
+                ]
+            )
+            == 2
+        )
+        assert "remote backend" in capsys.readouterr().err
+
+    def test_serial_rejects_retries(self, tmp_path, capsys):
+        plan_file = self._write_plan(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--plan",
+                    str(plan_file),
+                    "--backend",
+                    "serial",
+                    "--retries",
+                    "2",
+                ]
+            )
+            == 2
+        )
+        assert "no failure domain" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_exits_2(self, tmp_path, capsys):
+        plan_file = self._write_plan(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--plan",
+                    str(plan_file),
+                    "--backend",
+                    "remote",
+                    "--chaos",
+                    "explode:1",
+                ]
+            )
+            == 2
+        )
+        assert "unknown chaos facet" in capsys.readouterr().err
+
+    def test_remote_backend_runs_a_plan(self, tmp_path, capsys):
+        plan_file = self._write_plan(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--plan",
+                    str(plan_file),
+                    "--backend",
+                    "remote",
+                    "--heartbeat",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend remote" in out
+        assert "retried" not in out  # failure-free: no fault tail
+
+    def test_chaos_run_footer_counts_the_faults(self, tmp_path, capsys):
+        # One worker, armed to die on its first task: the (default)
+        # remote retry policy recovers via a replacement, and the
+        # footer accounts exactly one retry and one lost worker.
+        plan_file = self._write_plan(tmp_path, capsys)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--plan",
+                    str(plan_file),
+                    "--backend",
+                    "remote",
+                    "--retries",
+                    "3",
+                    "--heartbeat",
+                    "0.05",
+                    "--chaos",
+                    "kill-worker:0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend remote" in out
+        assert "1 retried" in out
+        assert "1 worker(s) lost" in out
