@@ -25,7 +25,15 @@ Covered:
   byte-identical result JSON asserted, wall-clock ratio tracked);
 * the remote socket backend — failure-free overhead of the
   fault-tolerant substrate vs the plain process pool on the same plan
-  (identical result content asserted; target < 1.3x at paper scale).
+  (identical result content asserted; target < 1.3x at paper scale);
+* the kernel-level Spec path — LP prefix prune + memoised value-DP
+  tables vs the prior traversal at paper density (byte-identical
+  placements asserted; target >= 1.5x), plus the compiled coverage
+  engine vs dense (jitted when numba is present, numpy fallbacks
+  otherwise);
+* the batched scenario build — ``rng_scheme="v2"`` vs the seed's
+  per-user loops on the RNG-governed stage at ``K=500, I=300``
+  (target >= 3x).
 
 Usage::
 
@@ -33,6 +41,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_perf.py --strict   # fail <5x
     PYTHONPATH=src python benchmarks/bench_perf.py --workers 4
+    PYTHONPATH=src python benchmarks/bench_perf.py --section kernels,scenario
 """
 
 from __future__ import annotations
@@ -68,6 +77,14 @@ GEN_TARGET_SPEEDUP = 5.0
 
 #: The sweep acceptance target: end-to-end, seed path -> sparse path.
 SWEEP_TARGET_SPEEDUP = 2.0
+
+#: The Spec kernel-level acceptance target: prefix-pruned + memoised DP
+#: tables vs the prior traversal, paper density.
+SPEC_KERNEL_TARGET_SPEEDUP = 1.5
+
+#: The scenario acceptance target: batched ``rng_scheme="v2"`` vs the
+#: seed's per-user loops on the RNG-governed build stage (K=500, I=300).
+SCENARIO_TARGET_SPEEDUP = 3.0
 
 
 def timeit(fn, min_time: float, min_reps: int = 3):
@@ -515,6 +532,225 @@ def remote_benchmarks(quick: bool, workers: int):
     }
 
 
+def kernels_benchmarks(quick: bool, workers: int):
+    """The kernel-level Spec path and the compiled coverage engine.
+
+    Two entries:
+
+    * ``spec_kernel`` — Spec with the LP prefix prune + memoised value-DP
+      tables (the defaults) vs the prior traversal (both knobs off) on
+      the paper-density instance; byte-identical placements asserted,
+      target ``SPEC_KERNEL_TARGET_SPEEDUP``.
+    * ``compiled_engine`` — Gen/Independent under ``engine="compiled"``
+      vs their default engines. Without numba the compiled engine runs
+      its numpy fallbacks (recorded, not a speedup claim); placements
+      are asserted identical either way.
+    """
+    from repro.core import kernels
+
+    budget = 0.3 if quick else 2.0
+    params = dict(
+        num_servers=8 if quick else 30,
+        num_users=48 if quick else 200,
+        num_models=30 if quick else 120,
+        requests_per_user=12 if quick else 30,
+        storage_bytes=int(0.12 * GB),
+        library_case="special",
+    )
+    name = "spec_kernel_quick" if quick else "spec_kernel"
+    instance = build_scenario(ScenarioConfig(**params), seed=42).instance
+    legacy_s, legacy_result = timeit(
+        lambda: TrimCachingSpec(
+            epsilon=0.1, knapsack_cache=False, prefix_prune=False
+        ).solve(instance),
+        budget,
+        min_reps=2,
+    )
+    new_s, new_result = timeit(
+        lambda: TrimCachingSpec(epsilon=0.1).solve(instance),
+        budget,
+        min_reps=2,
+    )
+    identical = new_result.placement == legacy_result.placement
+    assert identical, "kernel-level Spec placements diverge"
+    speedup = legacy_s / new_s
+    print(
+        f"{name}: prior traversal {legacy_s * 1e3:.2f} ms, "
+        f"pruned+cached {new_s * 1e3:.2f} ms ({speedup:.2f}x, "
+        f"target {SPEC_KERNEL_TARGET_SPEEDUP}x), "
+        f"{new_result.stats['knapsack_cache_hits']} table hits / "
+        f"{new_result.stats['knapsack_cache_misses']} misses, "
+        f"identical placements"
+    )
+
+    gen_instance = instance
+    dense_s, dense_result = timeit(
+        lambda: TrimCachingGen().solve(gen_instance), budget
+    )
+    compiled_s, compiled_result = timeit(
+        lambda: TrimCachingGen(engine="compiled").solve(gen_instance), budget
+    )
+    ind_dense_s, ind_dense = timeit(
+        lambda: IndependentCaching().solve(gen_instance), budget
+    )
+    ind_compiled_s, ind_compiled = timeit(
+        lambda: IndependentCaching(engine="compiled").solve(gen_instance),
+        budget,
+    )
+    engines_identical = (
+        compiled_result.placement == dense_result.placement
+        and ind_compiled.placement == ind_dense.placement
+    )
+    assert engines_identical, "compiled-engine placements diverge from dense"
+    numba_note = "yes" if kernels.HAVE_NUMBA else "no, numpy fallbacks"
+    print(
+        f"compiled engine (numba={numba_note}): gen dense "
+        f"{dense_s * 1e3:.2f} ms vs compiled {compiled_s * 1e3:.2f} ms; "
+        f"independent dense {ind_dense_s * 1e3:.2f} ms vs compiled "
+        f"{ind_compiled_s * 1e3:.2f} ms; identical placements"
+    )
+    return {
+        name: {
+            "instance": {**params, "seed": 42},
+            "hit_ratio": round(new_result.hit_ratio, 6),
+            "legacy_traversal_s": legacy_s,
+            "pruned_cached_s": new_s,
+            "speedup": speedup,
+            "knapsack_cache_hits": new_result.stats["knapsack_cache_hits"],
+            "knapsack_cache_misses": new_result.stats["knapsack_cache_misses"],
+            "placements_identical": identical,
+        },
+        "compiled_engine": {
+            "instance": {**params, "seed": 42},
+            "have_numba": kernels.HAVE_NUMBA,
+            "gen_dense_s": dense_s,
+            "gen_compiled_s": compiled_s,
+            "independent_dense_s": ind_dense_s,
+            "independent_compiled_s": ind_compiled_s,
+            "placements_identical": engines_identical,
+            "note": (
+                "jitted kernels"
+                if kernels.HAVE_NUMBA
+                else "numba absent: numpy fallbacks (no speedup claimed)"
+            ),
+        },
+    }
+
+
+def scenario_benchmarks(quick: bool):
+    """Batched scenario build (``rng_scheme="v2"``) vs the seed loops.
+
+    Times the RNG-governed stage of :func:`build_scenario` — popularity/
+    demand draws plus per-user QoS construction, the code the scheme
+    versioning covers — under both schemes, and the end-to-end build for
+    honesty (feasibility construction is scheme-independent and
+    dominates the remainder).
+    """
+    from repro.network.geometry import uniform_points
+    from repro.network.users import User, users_from_batch
+    from repro.sim.scenario import _build_demand
+    from repro.utils.rng import RngFactory
+
+    params = dict(
+        num_servers=8 if quick else 30,
+        num_users=60 if quick else 500,
+        num_models=30 if quick else 300,
+        requests_per_user=12 if quick else 30,
+        deadline_range_s=(1.0, 2.0),
+        library_case="special",
+    )
+    budget = 0.3 if quick else 1.5
+
+    def rng_stage(config):
+        """The draws `rng_scheme` governs, exactly as build_scenario
+        sequences them: per-user QoS vectors, then the demand matrix."""
+        factory = RngFactory(7)
+        positions = uniform_points(
+            config.num_users, config.area_side_m, factory.child("user-positions")
+        )
+        qos_rng = factory.child("qos")
+        if config.rng_scheme == "v2":
+            deadlines = qos_rng.uniform(
+                config.deadline_range_s[0],
+                config.deadline_range_s[1],
+                size=(config.num_users, config.num_models),
+            )
+            inference = qos_rng.uniform(
+                config.inference_latency_range_s[0],
+                config.inference_latency_range_s[1],
+                size=(config.num_users, config.num_models),
+            )
+            users = users_from_batch(
+                positions, deadlines, inference, config.active_probability
+            )
+        else:
+            users = [
+                User(
+                    user_id=index,
+                    position=position,
+                    deadlines_s=qos_rng.uniform(
+                        config.deadline_range_s[0],
+                        config.deadline_range_s[1],
+                        size=config.num_models,
+                    ),
+                    inference_latency_s=qos_rng.uniform(
+                        config.inference_latency_range_s[0],
+                        config.inference_latency_range_s[1],
+                        size=config.num_models,
+                    ),
+                    active_probability=config.active_probability,
+                )
+                for index, position in enumerate(positions)
+            ]
+        demand = _build_demand(config, factory.child("demand"))
+        return users, demand
+
+    v1_config = ScenarioConfig(**params)
+    v2_config = ScenarioConfig(**params, rng_scheme="v2")
+    v1_stage_s, (_, v1_demand) = timeit(lambda: rng_stage(v1_config), budget)
+    v2_stage_s, (_, v2_demand) = timeit(lambda: rng_stage(v2_config), budget)
+    # Same library, same per-row Zipf weights: the schemes agree on the
+    # demand support statistics even though the streams differ.
+    assert v1_demand.shape == v2_demand.shape
+    assert np.allclose(v1_demand.sum(axis=1), 1.0)
+    assert np.allclose(v2_demand.sum(axis=1), 1.0)
+    library = build_scenario(v1_config, seed=7).library
+    v1_build_s, _ = timeit(
+        lambda: build_scenario(v1_config, seed=7, library=library),
+        budget,
+        min_reps=2,
+    )
+    v2_build_s, _ = timeit(
+        lambda: build_scenario(v2_config, seed=7, library=library),
+        budget,
+        min_reps=2,
+    )
+    speedup = v1_stage_s / v2_stage_s
+    print(
+        f"scenario (K={params['num_users']}, I={params['num_models']}): "
+        f"RNG stage v1 {v1_stage_s * 1e3:.2f} ms, v2 "
+        f"{v2_stage_s * 1e3:.2f} ms ({speedup:.2f}x, target "
+        f"{SCENARIO_TARGET_SPEEDUP}x); full build v1 "
+        f"{v1_build_s * 1e3:.2f} ms, v2 {v2_build_s * 1e3:.2f} ms "
+        f"({v1_build_s / v2_build_s:.2f}x end-to-end)"
+    )
+    return {
+        "scenario_build": {
+            "instance": {**params, "seed": 7},
+            "v1_rng_stage_s": v1_stage_s,
+            "v2_rng_stage_s": v2_stage_s,
+            "speedup_rng_stage": speedup,
+            "v1_full_build_s": v1_build_s,
+            "v2_full_build_s": v2_build_s,
+            "speedup_full_build": v1_build_s / v2_build_s,
+            "note": (
+                "full build includes the scheme-independent feasibility "
+                "construction; the target applies to the RNG stage"
+            ),
+        }
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -537,10 +773,68 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent.parent / "BENCH_solvers.json",
         help="where to write the JSON results",
     )
+    section_names = (
+        "gen",
+        "spec",
+        "dp",
+        "sparse",
+        "sweep",
+        "cache",
+        "remote",
+        "kernels",
+        "scenario",
+    )
+    parser.add_argument(
+        "--section",
+        action="append",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="run only these sections (repeatable / comma-separated; "
+        f"choices: {', '.join(section_names)}; default: all). A partial "
+        "run merges into an existing output file, keeping the other "
+        "sections' previous numbers",
+    )
     args = parser.parse_args(argv)
 
-    results = {
-        "meta": {
+    if args.section is None:
+        selected = list(section_names)
+    else:
+        selected = [
+            token.strip()
+            for entry in args.section
+            for token in entry.split(",")
+            if token.strip()
+        ]
+        unknown = sorted(set(selected) - set(section_names))
+        if unknown:
+            parser.error(
+                f"unknown --section {', '.join(unknown)} "
+                f"(choices: {', '.join(section_names)})"
+            )
+
+    runners = {
+        "gen": lambda: gen_benchmarks(args.quick),
+        "spec": lambda: spec_benchmarks(args.quick, args.workers),
+        "dp": lambda: dp_benchmarks(args.quick),
+        "sparse": lambda: sparse_benchmarks(args.quick),
+        "sweep": lambda: sweep_benchmarks(args.quick, args.workers),
+        "cache": lambda: cache_benchmarks(args.quick, args.workers),
+        "remote": lambda: remote_benchmarks(args.quick, args.workers),
+        "kernels": lambda: kernels_benchmarks(args.quick, args.workers),
+        "scenario": lambda: scenario_benchmarks(args.quick),
+    }
+
+    # A partial --section run merges into the existing file so the
+    # untouched sections keep their previous numbers (and target flags).
+    results = {}
+    if args.section is not None and args.output.exists():
+        try:
+            results = json.loads(args.output.read_text())
+        except (OSError, ValueError):
+            results = {}
+    results.setdefault("meta", {})
+    results["meta"].update(
+        {
             "quick": args.quick,
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -548,35 +842,61 @@ def main(argv=None) -> int:
             "cpu_count": os.cpu_count(),
             "gen_target_speedup": GEN_TARGET_SPEEDUP,
             "sweep_target_speedup": SWEEP_TARGET_SPEEDUP,
-        },
-        "gen": gen_benchmarks(args.quick),
-        "spec": spec_benchmarks(args.quick, args.workers),
-        "dp": dp_benchmarks(args.quick),
-        "sparse": sparse_benchmarks(args.quick),
-        "sweep": sweep_benchmarks(args.quick, args.workers),
-        "cache": cache_benchmarks(args.quick, args.workers),
-        "remote": remote_benchmarks(args.quick, args.workers),
-    }
+            "spec_kernel_target_speedup": SPEC_KERNEL_TARGET_SPEEDUP,
+            "scenario_target_speedup": SCENARIO_TARGET_SPEEDUP,
+        }
+    )
+    for name in section_names:
+        if name in selected:
+            results[name] = runners[name]()
 
-    gen_key = "gen_quick" if args.quick else "gen_paper_tight"
-    speedup = results["gen"][gen_key]["speedup_vs_seed_lazy"]
-    target_met = speedup >= GEN_TARGET_SPEEDUP
-    results["meta"]["gen_target_met"] = bool(target_met)
-    sweep_speedup = results["sweep"]["paper_sweep"]["speedup_end_to_end"]
-    sweep_met = sweep_speedup >= SWEEP_TARGET_SPEEDUP
-    results["meta"]["sweep_target_met"] = bool(sweep_met)
+    checks = []
+    if "gen" in selected:
+        gen_key = "gen_quick" if args.quick else "gen_paper_tight"
+        speedup = results["gen"][gen_key]["speedup_vs_seed_lazy"]
+        met = speedup >= GEN_TARGET_SPEEDUP
+        results["meta"]["gen_target_met"] = bool(met)
+        checks.append(
+            (f"Gen acceptance ({gen_key}): {speedup:.1f}x vs seed lazy",
+             GEN_TARGET_SPEEDUP, met)
+        )
+    if "sweep" in selected:
+        sweep_speedup = results["sweep"]["paper_sweep"]["speedup_end_to_end"]
+        met = sweep_speedup >= SWEEP_TARGET_SPEEDUP
+        results["meta"]["sweep_target_met"] = bool(met)
+        checks.append(
+            (f"Sweep acceptance: {sweep_speedup:.1f}x end-to-end "
+             "(seed path -> sparse path)", SWEEP_TARGET_SPEEDUP, met)
+        )
+    if "kernels" in selected:
+        kernel_key = "spec_kernel_quick" if args.quick else "spec_kernel"
+        kernel_speedup = results["kernels"][kernel_key]["speedup"]
+        met = kernel_speedup >= SPEC_KERNEL_TARGET_SPEEDUP
+        results["meta"]["spec_kernel_target_met"] = bool(met)
+        checks.append(
+            (f"Spec kernel acceptance ({kernel_key}): {kernel_speedup:.2f}x "
+             "vs prior traversal", SPEC_KERNEL_TARGET_SPEEDUP, met)
+        )
+    if "scenario" in selected:
+        scenario_speedup = results["scenario"]["scenario_build"][
+            "speedup_rng_stage"
+        ]
+        met = scenario_speedup >= SCENARIO_TARGET_SPEEDUP
+        results["meta"]["scenario_target_met"] = bool(met)
+        checks.append(
+            (f"Scenario acceptance: {scenario_speedup:.2f}x RNG stage "
+             "(v1 -> v2)", SCENARIO_TARGET_SPEEDUP, met)
+        )
+
     args.output.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.output}")
-    print(
-        f"Gen acceptance ({gen_key}): {speedup:.1f}x vs seed lazy — "
-        f"target {GEN_TARGET_SPEEDUP}x {'MET' if target_met else 'NOT MET'}"
-    )
-    print(
-        f"Sweep acceptance: {sweep_speedup:.1f}x end-to-end (seed path -> "
-        f"sparse path) — target {SWEEP_TARGET_SPEEDUP}x "
-        f"{'MET' if sweep_met else 'NOT MET'}"
-    )
-    if args.strict and not args.quick and not (target_met and sweep_met):
+    for label, target, met in checks:
+        print(f"{label} — target {target}x {'MET' if met else 'NOT MET'}")
+    if (
+        args.strict
+        and not args.quick
+        and not all(met for _, _, met in checks)
+    ):
         return 1
     return 0
 

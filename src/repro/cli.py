@@ -37,7 +37,7 @@ from typing import Callable, List, Optional
 from repro.sim import experiments
 
 #: Engine choices plumbed into every solver that has an ``engine`` knob.
-_ENGINES = ("dense", "sparse", "auto")
+_ENGINES = ("dense", "sparse", "compiled", "auto")
 
 
 def _render_result(result, args: argparse.Namespace) -> str:
@@ -171,6 +171,7 @@ _GRID_FLAGS = {
     "models": None,
     "requests_per_user": None,
     "storage_gb": None,
+    "rng_scheme": None,
     "name": None,
     "topologies": 10,
     "seed": 0,
@@ -216,6 +217,8 @@ def _build_cli_plan(args: argparse.Namespace):
         base["requests_per_user"] = args.requests_per_user
     if args.storage_gb is not None:
         base["storage_bytes"] = int(args.storage_gb * scale * GB)
+    if args.rng_scheme is not None:
+        base["rng_scheme"] = args.rng_scheme
     algos = [token.strip() for token in args.algos.split(",") if token.strip()]
     if not algos:
         from repro.errors import ConfigurationError
@@ -307,12 +310,34 @@ def _generic_sweep(args: argparse.Namespace) -> str:
         from repro.exec import ArtifactStore
 
         store = ArtifactStore(args.cache_dir)
-    if backend is None and store is None:
-        return _render_result(run_plan(plan), args)
-    from repro.exec import execute_plan
 
-    result, report = execute_plan(plan, backend=backend, store=store)
-    return _render_result(result, args) + f"\n({report.summary()})"
+    def execute() -> str:
+        if backend is None and store is None:
+            return _render_result(run_plan(plan), args)
+        from repro.exec import execute_plan
+
+        result, report = execute_plan(plan, backend=backend, store=store)
+        return _render_result(result, args) + f"\n({report.summary()})"
+
+    if not args.profile:
+        return execute()
+    # --profile wraps the whole execution (plan run + rendering) in
+    # cProfile and appends the hottest 25 cumulative entries. Results
+    # are unaffected; only wall time pays the tracing overhead.
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        output = execute()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(25)
+    return output + "\n" + stream.getvalue().rstrip()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -369,7 +394,8 @@ def build_parser() -> argparse.ArgumentParser:
             choices=_ENGINES,
             default="dense",
             help="coverage engine: dense (bit-pinned to the seed), "
-            "sparse (O(nnz) CSR walks) or auto",
+            "sparse (O(nnz) CSR walks), compiled (numba kernels when "
+            "installed, numpy fallbacks otherwise) or auto",
         )
         add_sweep_outputs(p)
         p.set_defaults(handler=_sweep_command(fn))
@@ -481,11 +507,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-server storage in paper-scale GB (shrunk by --scale)",
     )
+    p.add_argument(
+        "--rng-scheme",
+        choices=("v1", "v2"),
+        default=None,
+        help="scenario RNG scheme: v1 (seed-identical per-user draws, "
+        "default) or v2 (batched numpy draws; statistically equivalent, "
+        "different stream layout)",
+    )
     p.add_argument("--name", default=None, help="result/plan title")
     p.add_argument(
         "--dry-run",
         action="store_true",
         help="print the plan JSON instead of running it",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and append the top-25 cumulative-time "
+        "entries to the output",
     )
     add_sweep_outputs(p)
     # add_common gave --topologies/--seed concrete defaults; sweep needs

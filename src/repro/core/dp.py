@@ -7,23 +7,32 @@ The Spec solver decomposes each per-server sub-problem **P2.1m** into:
 2. for each combination, a 0/1 knapsack over the eligible models' specific
    blocks within the capacity left after caching ``N``.
 
-Three interchangeable knapsack backends are provided:
+Four interchangeable knapsack backends are provided:
 
 * :func:`knapsack_value_dp` — the paper's rounded DP over utility values
   (eq. 16/19): ``(1 - ε)``-optimal, polynomial in ``1/ε``;
 * :func:`knapsack_weight_dp` — DP over quantised weights: exact up to the
   conservative ceiling of item sizes to the quantum;
 * :func:`knapsack_branch_and_bound` — exact, no quantisation; the ε = 0
-  reference used by the Fig. 6 optimality study and the test suite.
+  reference used by the Fig. 6 optimality study and the test suite;
+* :func:`knapsack_best_first` — the same exact search driven by a
+  priority queue instead of depth-first recursion: it expands only nodes
+  whose LP bound beats the incumbent, which collapses the node count on
+  the wide-value instances that blow up the rounded DP.
+
+:class:`ValueDpTables` memoises the capacity-independent part of the
+rounded DP so a Spec solve that re-poses the same filtered sub-instance
+across combinations and servers pays for the table fill once.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 import weakref
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -410,9 +419,258 @@ def knapsack_branch_and_bound(
     return best_value, sorted(best_set)
 
 
+def knapsack_best_first(
+    values: Sequence[float],
+    weights: Sequence[int],
+    capacity: int,
+    max_nodes: int = 1_000_000,
+) -> Tuple[float, List[int]]:
+    """Exact 0/1 knapsack via best-first branch and bound.
+
+    Explores the same include-first decision tree as
+    :func:`knapsack_branch_and_bound` (items in decreasing value density,
+    fractional LP relaxation as the bound) but pops nodes from a priority
+    queue ordered by bound instead of recursing depth-first. Only nodes
+    whose bound exceeds the optimum are ever expanded, so the node count
+    collapses on instances where depth-first churns — exactly the
+    wide-value-spread instances that overflow the rounded value DP.
+
+    The queue is tie-broken on the DFS preorder path (include = 0 sorts
+    before exclude = 1), and the incumbent keeps the preorder-earliest
+    achiever of the maximal value, so equal-value optima resolve to the
+    *same* selection the depth-first reference returns. The one
+    theoretical divergence is the DFS's ``1e-12`` pruning slack, which
+    can make it miss an improvement smaller than ``1e-12`` absolute that
+    this backend finds; no generic float instance exercises that corner
+    (the equivalence tests pin the two backends selection-identical).
+
+    Raises
+    ------
+    SolverError
+        If more than ``max_nodes`` nodes are expanded. Exact 0/1
+        knapsack is exponential in the worst case; the Spec fallback
+        chain catches the budget overrun and drops to the quantised DP.
+    """
+    _validate_knapsack(values, weights, capacity)
+    items = [
+        (index, float(values[index]), int(weights[index]))
+        for index in range(len(values))
+        if values[index] > 0 and weights[index] <= capacity
+    ]
+    if not items:
+        return 0.0, []
+    items.sort(key=lambda item: item[1] / max(item[2], 1e-12), reverse=True)
+    n = len(items)
+
+    def bound(position: int, value: float, remaining: int) -> float:
+        upper = value
+        for idx in range(position, n):
+            _, item_value, item_weight = items[idx]
+            if item_weight <= remaining:
+                upper += item_value
+                remaining -= item_weight
+            else:
+                if item_weight > 0:
+                    upper += item_value * remaining / item_weight
+                break
+        return upper
+
+    best_value = 0.0
+    best_set: Tuple[int, ...] = ()
+    # Sentinel larger than every real path (paths start with 0 or 1).
+    best_path: Tuple[int, ...] = (2,)
+    expanded = 0
+    # Heap entry: (-bound, preorder path, position, value, remaining,
+    # chosen original indices). Python's tuple comparison gives us
+    # best-bound-first with preorder tie-breaks for free.
+    root = (-bound(0, 0.0, capacity), (), 0, 0.0, capacity, ())
+    heap: List[Tuple[float, Tuple[int, ...], int, float, int, Tuple[int, ...]]] = [root]
+    while heap:
+        neg_bound, path, position, value, remaining, chosen = heapq.heappop(heap)
+        node_bound = -neg_bound
+        # The heap pops in (bound desc, preorder) order, so once the top
+        # cannot strictly improve — or can at best tie at a later
+        # preorder position — nothing below it can either.
+        if node_bound < best_value or (
+            node_bound == best_value and path > best_path
+        ):
+            break
+        if value > best_value or (value == best_value and path < best_path):
+            best_value = value
+            best_set = chosen
+            best_path = path
+        if position == n:
+            continue
+        expanded += 1
+        if expanded > max_nodes:
+            raise SolverError(
+                f"best-first knapsack expanded more than {max_nodes} nodes; "
+                "use a DP backend for this instance"
+            )
+        index, item_value, item_weight = items[position]
+        if item_weight <= remaining:
+            include_value = value + item_value
+            include_remaining = remaining - item_weight
+            heapq.heappush(
+                heap,
+                (
+                    -bound(position + 1, include_value, include_remaining),
+                    path + (0,),
+                    position + 1,
+                    include_value,
+                    include_remaining,
+                    chosen + (index,),
+                ),
+            )
+        heapq.heappush(
+            heap,
+            (
+                -bound(position + 1, value, remaining),
+                path + (1,),
+                position + 1,
+                value,
+                remaining,
+                chosen,
+            ),
+        )
+    return best_value, sorted(best_set)
+
+
+#: Sentinel cached for filtered instances whose rounded table overflows
+#: ``max_states`` — repeat calls re-raise without re-deriving the count.
+_TABLE_BLOWN = "blown"
+
+
+class ValueDpTables:
+    """Memoised capacity-independent :func:`knapsack_value_dp` tables.
+
+    The rounded table ``min_weight[units]`` depends only on the
+    *filtered* item list (positive value, weight ≤ capacity) and
+    ``epsilon`` — the capacity enters through the item filter and the
+    final best-units/backtrack step, not the fill. Within one Spec solve
+    the same filtered sub-instance recurs across combinations and
+    servers (utilities only change for models whose demand an earlier
+    placement already served), so keying the fill on the filtered
+    ``(values, weights)`` bytes turns repeat calls into a backtrack.
+
+    :meth:`solve` replicates ``knapsack_value_dp``'s arithmetic exactly —
+    same rounding, same slice-shift fill, same backtrack, same
+    ``true_value`` accumulation order — so selections are byte-identical
+    (asserted by the equivalence tests).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        max_states: int = 5_000_000,
+        max_entries: int = 100_000,
+    ) -> None:
+        if epsilon <= 0:
+            raise SolverError("ValueDpTables requires epsilon > 0")
+        self.epsilon = epsilon
+        self.max_states = max_states
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._tables: Dict[Tuple[bytes, bytes], tuple] = {}
+
+    # ------------------------------------------------------------------
+    def _fill(self, filtered_values: np.ndarray, filtered_weights: np.ndarray):
+        """The capacity-independent part of ``knapsack_value_dp``."""
+        count = filtered_values.shape[0]
+        v_min = float(filtered_values.min())
+        unit = self.epsilon * v_min
+        ratio = np.floor(filtered_values / unit)
+        # Beyond 2**53 the float ratios stop being the exact floors the
+        # seed's integer arithmetic produces — but any such instance is
+        # astronomically past max_states, so the blown marker is exact.
+        if not np.all(np.isfinite(ratio)) or float(ratio.max()) >= 2.0**53:
+            return (
+                _TABLE_BLOWN,
+                f"value DP needs more than {self.max_states} states; "
+                "increase epsilon or use another backend",
+            )
+        rounded = np.maximum(ratio, 1.0).astype(np.int64).tolist()
+        total_rounded = sum(rounded)
+        if (total_rounded + 1) * count > self.max_states:
+            return (
+                _TABLE_BLOWN,
+                f"value DP needs {(total_rounded + 1) * count} states "
+                f"(> {self.max_states}); increase epsilon or use another backend",
+            )
+        min_weight = np.full(total_rounded + 1, np.inf)
+        min_weight[0] = 0.0
+        improved_states: List[np.ndarray] = []
+        reachable = 0
+        for weight, value_units in zip(filtered_weights.tolist(), rounded):
+            reachable = min(reachable + value_units, total_rounded)
+            shifted = min_weight[: reachable - value_units + 1] + weight
+            segment = min_weight[value_units : reachable + 1]
+            improved = shifted < segment
+            np.copyto(segment, shifted, where=improved)
+            improved_states.append(np.flatnonzero(improved) + value_units)
+        return (min_weight, improved_states, rounded)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, values: Sequence[float], weights: Sequence[int], capacity: int
+    ) -> Tuple[float, List[int]]:
+        """``knapsack_value_dp(values, weights, capacity)``, memoised.
+
+        Raises :class:`SolverError` exactly when the uncached call
+        would: negative inputs, mismatched lengths, or a rounded table
+        past ``max_states``.
+        """
+        all_values = np.asarray(values, dtype=float)
+        all_weights = np.asarray(weights, dtype=np.int64)
+        if all_values.shape[0] != all_weights.shape[0]:
+            raise SolverError("values and weights must have equal length")
+        if capacity < 0:
+            raise SolverError(f"capacity must be non-negative, got {capacity}")
+        if all_values.size and float(all_values.min()) < 0:
+            raise SolverError("knapsack values must be non-negative")
+        if all_weights.size and int(all_weights.min()) < 0:
+            raise SolverError("knapsack weights must be non-negative")
+        keep = (all_values > 0) & (all_weights <= capacity)
+        original = np.flatnonzero(keep)
+        if original.size == 0:
+            return 0.0, []
+        filtered_values = np.ascontiguousarray(all_values[keep])
+        filtered_weights = np.ascontiguousarray(all_weights[keep])
+        key = (filtered_values.tobytes(), filtered_weights.tobytes())
+        entry = self._tables.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = self._fill(filtered_values, filtered_weights)
+            if len(self._tables) < self.max_entries:
+                self._tables[key] = entry
+        else:
+            self.hits += 1
+        if entry[0] is _TABLE_BLOWN:
+            raise SolverError(entry[1])
+        min_weight, improved_states, rounded = entry
+
+        best_units = int(np.flatnonzero(min_weight <= capacity)[-1])
+        selected_positions: List[int] = []
+        units = best_units
+        for item_pos in range(len(rounded) - 1, -1, -1):
+            states = improved_states[item_pos]
+            pos = int(np.searchsorted(states, units))
+            if pos < len(states) and states[pos] == units:
+                selected_positions.append(item_pos)
+                units -= rounded[item_pos]
+        if units != 0:
+            raise SolverError("value DP backtrack failed (internal error)")
+        selected_positions.reverse()
+        selected = [int(original[position]) for position in selected_positions]
+        true_value = float(sum(all_values[index] for index in selected))
+        return true_value, selected
+
+
 #: Backend registry used by the Spec solver.
 KNAPSACK_BACKENDS = {
     "value_dp": knapsack_value_dp,
     "weight_dp": knapsack_weight_dp,
     "exact": knapsack_branch_and_bound,
+    "best_first": knapsack_best_first,
 }

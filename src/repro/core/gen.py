@@ -34,6 +34,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.blockmask import ServerBlockCache
 from repro.core.objective import CoverageTracker
 from repro.core.placement import Placement, PlacementInstance
@@ -46,9 +47,9 @@ from repro.errors import ConfigurationError
 
 def _check_engine(engine: str) -> None:
     """Fail at construction, not mid-solve inside a worker."""
-    if engine not in ("dense", "sparse", "auto"):
+    if engine not in ("dense", "sparse", "compiled", "auto"):
         raise ConfigurationError(
-            f"engine must be dense|sparse|auto, got {engine!r}"
+            f"engine must be dense|sparse|compiled|auto, got {engine!r}"
         )
 
 
@@ -78,7 +79,8 @@ class TrimCachingGen:
         self.accelerated = accelerated
         self.fill_zero_gain = fill_zero_gain
         #: Coverage engine: ``"dense"`` (bit-pinned to the seed),
-        #: ``"sparse"`` (O(nnz) CSR walks) or ``"auto"``.
+        #: ``"sparse"`` (O(nnz) CSR walks), ``"compiled"`` (Numba
+        #: kernels when available, numpy otherwise) or ``"auto"``.
         self.engine = engine
 
     # ------------------------------------------------------------------
@@ -172,12 +174,19 @@ class TrimCachingGen:
         # literal scan's tie-break.
         fit = np.empty(extras.shape, dtype=bool)
         value = np.empty(extras.shape)
+        # The compiled argmax is comparison-only, so its index matches
+        # the numpy masked argmax bit-for-bit (same first-maximiser
+        # tie-break); the numpy fallback IS the inline expression below.
+        use_kernels = kernels.prefers_compiled(self.engine)
         steps = 0
         while True:
-            np.less_equal(extras, remaining, out=fit)
-            value.fill(-1.0)
-            np.copyto(value, gains, where=fit)
-            flat = int(np.argmax(value))
+            if use_kernels:
+                flat = kernels.masked_argmax(gains, extras, remaining, fit, value)
+            else:
+                np.less_equal(extras, remaining, out=fit)
+                value.fill(-1.0)
+                np.copyto(value, gains, where=fit)
+                flat = int(np.argmax(value))
             server, model_index = divmod(flat, num_models)
             if (
                 gains[server, model_index] <= 0.0

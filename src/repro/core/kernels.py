@@ -1,0 +1,166 @@
+"""Optional compiled kernels behind the solvers' ``engine="compiled"``.
+
+Three inner loops dominate solver wall-clock now that the surrounding
+machinery is vectorised:
+
+* the dense per-column gain refresh in
+  :meth:`~repro.core.objective.CoverageTracker.mark_served` — an
+  ``O(M·K)`` einsum over a column view per placement step;
+* the sparse ``O(nnz)`` fold over a CSR column (a ``np.bincount``);
+* the masked argmax that picks the next greedy pair in
+  :class:`~repro.core.gen.TrimCachingGen` and
+  :class:`~repro.core.independent.IndependentCaching`.
+
+Each has two implementations:
+
+* a Numba ``@njit`` version, compiled on import when numba is installed
+  (:data:`HAVE_NUMBA`), with ``fastmath`` left OFF so the float
+  accumulation stays strict IEEE;
+* a pure-numpy fallback that is literally the numpy expression the
+  dense/sparse engines run, so ``engine="compiled"`` works — and is
+  tested — on a dependency-free install.
+
+Bit discipline: the sparse fold and the masked argmax are sequential
+and comparison-only respectively, so their jitted results equal the
+numpy ops bit-for-bit. The jitted *dense* gain kernel reduces in
+sequential order while ``np.einsum`` may use partial accumulators, so
+its gains can differ from the einsum in final ulps — hence, exactly
+like the sparse engine in PR 2, the compiled engine is pinned at the
+*placement* level by the equivalence suite rather than bit-by-bit
+through the gains. Numba itself stays an optional dependency: nothing
+in the repo imports it unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the dependency-free default
+    numba = None
+    HAVE_NUMBA = False
+
+
+def prefers_compiled(engine: str) -> bool:
+    """Should ``engine`` route through the compiled kernels?
+
+    ``"compiled"`` always does (numpy fallbacks when numba is absent);
+    ``"auto"`` prefers them exactly when the numba import succeeded.
+    """
+    return engine == "compiled" or (engine == "auto" and HAVE_NUMBA)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=False, nogil=True)
+    def _dense_column_gains_jit(feasible_column, weighted_column, out):
+        num_servers, num_users = feasible_column.shape
+        for server in range(num_servers):
+            acc = 0.0
+            for user in range(num_users):
+                if feasible_column[server, user]:
+                    acc += weighted_column[user]
+            out[server] = acc
+
+    @numba.njit(cache=False, nogil=True)
+    def _sparse_column_gains_jit(servers, users, weighted_column, out):
+        out[:] = 0.0
+        for entry in range(servers.shape[0]):
+            out[servers[entry]] += weighted_column[users[entry]]
+
+    @numba.njit(cache=False, nogil=True)
+    def _masked_argmax_extras_jit(gains, extras, remaining):
+        num_servers, num_models = gains.shape
+        best = -1.0
+        best_flat = 0
+        for server in range(num_servers):
+            budget = remaining[server]
+            for model in range(num_models):
+                if extras[server, model] <= budget:
+                    value = gains[server, model]
+                else:
+                    value = -1.0
+                if value > best:
+                    best = value
+                    best_flat = server * num_models + model
+        return best_flat
+
+    @numba.njit(cache=False, nogil=True)
+    def _masked_argmax_sizes_jit(gains, sizes, remaining):
+        num_servers, num_models = gains.shape
+        best = -1.0
+        best_flat = 0
+        for server in range(num_servers):
+            budget = remaining[server]
+            for model in range(num_models):
+                if sizes[model] <= budget:
+                    value = gains[server, model]
+                else:
+                    value = -1.0
+                if value > best:
+                    best = value
+                    best_flat = server * num_models + model
+        return best_flat
+
+
+def dense_column_gains(
+    feasible_column: np.ndarray, weighted_column: np.ndarray, out: np.ndarray
+) -> None:
+    """``out[m] = Σ_k feasible[m, k] · weighted[k]`` for one model column.
+
+    The ``CoverageTracker`` dense refresh: ``feasible_column`` is the
+    ``(M, K)`` bool view ``instance.feasible[:, :, i]``, ``out`` the
+    ``(M,)`` gain-column view being refreshed in place.
+    """
+    if HAVE_NUMBA:
+        _dense_column_gains_jit(feasible_column, weighted_column, out)
+    else:
+        np.einsum("mk,k->m", feasible_column, weighted_column, out=out)
+
+
+def sparse_column_gains(
+    servers: np.ndarray,
+    users: np.ndarray,
+    weighted_column: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """The sparse column fold: ``out[servers[e]] += weighted[users[e]]``.
+
+    Both implementations accumulate in entry order — the jitted loop is
+    bit-identical to ``np.bincount`` with weights.
+    """
+    if HAVE_NUMBA:
+        _sparse_column_gains_jit(servers, users, weighted_column, out)
+    else:
+        out[:] = np.bincount(
+            servers, weights=weighted_column[users], minlength=out.shape[0]
+        )
+
+
+def masked_argmax(
+    gains: np.ndarray,
+    extras: np.ndarray,
+    remaining: np.ndarray,
+    fit: np.ndarray,
+    value: np.ndarray,
+) -> int:
+    """First row-major maximiser of ``where(extras <= remaining, gains, -1)``.
+
+    The greedy step shared by Gen (``extras`` is the ``(M, I)`` marginal
+    storage table) and Independent Caching (``extras`` is the ``(I,)``
+    full model sizes); ``remaining`` is the ``(M, 1)`` per-server budget
+    column. ``fit``/``value`` are the caller's scratch buffers, used
+    only by the numpy fallback. Comparison-only, so jitted and numpy
+    paths return the same index bit-for-bit.
+    """
+    if HAVE_NUMBA:
+        if extras.ndim == 1:
+            return int(_masked_argmax_sizes_jit(gains, extras, remaining[:, 0]))
+        return int(_masked_argmax_extras_jit(gains, extras, remaining[:, 0]))
+    np.less_equal(extras if extras.ndim == 2 else extras[None, :], remaining, out=fit)
+    value.fill(-1.0)
+    np.copyto(value, gains, where=fit)
+    return int(np.argmax(value))

@@ -22,6 +22,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.placement import Placement, PlacementInstance
 from repro.errors import PlacementError
 
@@ -143,25 +144,43 @@ class CoverageTracker:
         the placement level (empirically identical on the equivalence
         grids) rather than bit-by-bit through the gains.
 
-    ``engine="auto"`` picks ``"sparse"`` for sparse-primary instances and
-    ``"dense"`` otherwise.
+    ``engine="compiled"``
+        The same refresh routed through :mod:`repro.core.kernels`:
+        Numba-jitted loops when numba is installed, the engines' own
+        numpy expressions otherwise. The state layout follows what the
+        instance would pick anyway (CSR fold for sparse-primary, column
+        kernel otherwise). The jitted sparse fold is bit-identical to
+        the bincount; the jitted dense kernel may differ from the
+        einsum in final ulps, so compiled placements are pinned at the
+        placement level exactly like the sparse engine's.
+
+    ``engine="auto"`` picks ``"compiled"`` when numba is importable,
+    otherwise ``"sparse"`` for sparse-primary instances and ``"dense"``
+    for the rest.
     """
 
     def __init__(self, instance: PlacementInstance, engine: str = "dense") -> None:
         if engine == "auto":
-            engine = "sparse" if instance.is_sparse_primary else "dense"
-        if engine not in ("dense", "sparse"):
+            if kernels.HAVE_NUMBA:
+                engine = "compiled"
+            else:
+                engine = "sparse" if instance.is_sparse_primary else "dense"
+        if engine not in ("dense", "sparse", "compiled"):
             raise PlacementError(
-                f"engine must be dense|sparse|auto, got {engine!r}"
+                f"engine must be dense|sparse|compiled|auto, got {engine!r}"
             )
         self.instance = instance
         self.engine = engine
+        self._compiled = engine == "compiled"
+        sparse_state = engine == "sparse" or (
+            self._compiled and instance.is_sparse_primary
+        )
         self.served = np.zeros(
             (instance.num_users, instance.num_models), dtype=bool
         )
         #: ``(K, I)`` demand mass not yet served, maintained per column.
         self._weighted = instance.demand * ~self.served
-        if engine == "sparse":
+        if sparse_state:
             sparse = instance.sparse_feasible
             self._sparse = sparse
             num_servers = instance.num_servers
@@ -217,6 +236,13 @@ class CoverageTracker:
         # Still-unserved entries keep their exact bits; newly served ones
         # become exactly 0.0 — identical to recomputing demand * ~served.
         self._weighted[:, model_index][newly] = 0.0
+        if self._compiled:
+            kernels.dense_column_gains(
+                self.instance.feasible[:, :, model_index],
+                self._weighted[:, model_index],
+                self._gains[:, model_index],
+            )
+            return
         # Column views of the same arrays the full einsum would reduce:
         # same kernel, same accumulation order, same bits.
         self._gains[:, model_index] = np.einsum(
@@ -237,6 +263,14 @@ class CoverageTracker:
         # remaining mass becomes exactly 0.0.
         self._weighted[pair_users, model_index] = 0.0
         servers, users = sparse.column_entries(model_index)
+        if self._compiled:
+            kernels.sparse_column_gains(
+                servers,
+                users,
+                self._weighted[:, model_index],
+                self._gains[:, model_index],
+            )
+            return
         self._gains[:, model_index] = np.bincount(
             servers,
             weights=self._weighted[users, model_index],

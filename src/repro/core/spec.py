@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.dp import (
     KNAPSACK_BACKENDS,
     SharedCombination,
+    ValueDpTables,
     enumerate_shared_combinations,
 )
 from repro.core.objective import CoverageTracker, hit_ratio
@@ -141,7 +142,24 @@ class TrimCachingSpec:
     engine:
         Coverage engine for the successive ``I2`` bookkeeping:
         ``"dense"`` (bit-pinned to the seed), ``"sparse"`` (O(nnz) CSR
-        walks) or ``"auto"``.
+        walks), ``"compiled"`` (Numba kernels when available, numpy
+        otherwise) or ``"auto"``.
+    fallback:
+        What ``value_dp`` falls back to when its rounded table blows up:
+        ``"weight_dp"`` keeps the legacy quantised-DP → branch-and-bound
+        chain (the default — that chain's output is part of the pinned
+        seed series), ``"best_first"`` tries the exact best-first
+        branch-and-bound first and only drops to the legacy rungs if its
+        node budget overruns.
+    knapsack_cache:
+        Memoise the rounded value-DP tables per filtered sub-instance
+        across combinations and servers (byte-identical selections;
+        disable only to benchmark the uncached traversal).
+    prefix_prune:
+        Skip knapsacks whose density-ordered LP prefix bound — a
+        conservative upper bound on the combo's optimum — cannot
+        strictly beat the incumbent mass. Selection-transparent;
+        disable only for benchmarking.
     reuse_library_cache:
         Memoise the combination set and sub-problem context per library
         (identical outputs; disable only to benchmark the uncached
@@ -159,6 +177,9 @@ class TrimCachingSpec:
         server_order: str = "index",
         workers: Optional[int] = None,
         engine: str = "dense",
+        fallback: str = "weight_dp",
+        knapsack_cache: bool = True,
+        prefix_prune: bool = True,
         reuse_library_cache: bool = True,
     ) -> None:
         if epsilon < 0 or epsilon > 1:
@@ -179,9 +200,13 @@ class TrimCachingSpec:
             )
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
-        if engine not in ("dense", "sparse", "auto"):
+        if engine not in ("dense", "sparse", "compiled", "auto"):
             raise ConfigurationError(
-                f"engine must be dense|sparse|auto, got {engine!r}"
+                f"engine must be dense|sparse|compiled|auto, got {engine!r}"
+            )
+        if fallback not in ("weight_dp", "best_first"):
+            raise ConfigurationError(
+                f"fallback must be weight_dp|best_first, got {fallback!r}"
             )
         self.epsilon = epsilon
         self.backend = backend
@@ -190,6 +215,9 @@ class TrimCachingSpec:
         self.server_order = server_order
         self.workers = workers
         self.engine = engine
+        self.fallback = fallback
+        self.knapsack_cache = knapsack_cache
+        self.prefix_prune = prefix_prune
         self.reuse_library_cache = reuse_library_cache
 
     # ------------------------------------------------------------------
@@ -222,17 +250,35 @@ class TrimCachingSpec:
         return context
 
     def _run_knapsack(
-        self, values: Sequence[float], weights: Sequence[int], capacity: int
+        self,
+        values: Sequence[float],
+        weights: Sequence[int],
+        capacity: int,
+        tables: Optional[ValueDpTables] = None,
     ) -> Tuple[float, List[int]]:
         solver = KNAPSACK_BACKENDS[self.backend]
         if self.backend == "value_dp":
             try:
+                if tables is not None:
+                    return tables.solve(values, weights, capacity)
                 return solver(values, weights, capacity, epsilon=self.epsilon)
             except SolverError:
                 # The rounded value table blew up (wide demand spread at a
-                # small ε, typical for Zipf demand). Fall back to the
-                # weight-quantised DP at ~800 capacity units — exact up to
-                # <=1.25% capacity slack — and finally to branch-and-bound.
+                # small ε, typical for Zipf demand).
+                if self.fallback == "best_first":
+                    # Best-first expands only nodes whose LP bound beats
+                    # the incumbent — exact, and usually far cheaper than
+                    # the quantised DP on exactly these instances. Its
+                    # node budget bails out to the legacy rungs.
+                    try:
+                        return KNAPSACK_BACKENDS["best_first"](
+                            values, weights, capacity
+                        )
+                    except SolverError:
+                        pass
+                # Legacy chain: the weight-quantised DP at ~800 capacity
+                # units — exact up to <=1.25% capacity slack — and
+                # finally branch-and-bound.
                 try:
                     quantum = max(1, capacity // 800)
                     return KNAPSACK_BACKENDS["weight_dp"](
@@ -251,6 +297,7 @@ class TrimCachingSpec:
         combos: Sequence[SharedCombination],
         context: Optional[_SubproblemContext] = None,
         pool: Optional[ThreadPoolExecutor] = None,
+        tables: Optional[ValueDpTables] = None,
     ) -> Tuple[float, List[int]]:
         """Algorithm 2 on sub-problem P2.1m.
 
@@ -269,6 +316,10 @@ class TrimCachingSpec:
             Thread pool for the knapsack batch; ``None`` runs the serial
             traversal. ``solve`` owns one pool per call when
             ``workers > 1``. Both paths select identical models.
+        tables:
+            Memoised value-DP tables shared across combinations and
+            servers; ``solve`` owns one per call when
+            ``knapsack_cache`` is enabled. ``None`` solves uncached.
 
         Returns
         -------
@@ -289,12 +340,19 @@ class TrimCachingSpec:
         candidate_rows = np.flatnonzero(
             (context.combo_sizes <= capacity) & eligible_pos.any(axis=1)
         )
+        if len(candidate_rows) == 0:
+            return 0.0, []
+        # One row-major nonzero pass instead of one flatnonzero per row;
+        # np.nonzero yields each row's columns in ascending order, so the
+        # per-row arrays are exactly the former per-row flatnonzero.
+        candidate_eligible = eligible_pos[candidate_rows]
+        nz_rows, nz_cols = np.nonzero(candidate_eligible)
+        eligible_per_row = np.split(
+            nz_cols, np.searchsorted(nz_rows, np.arange(1, len(candidate_rows)))
+        )
         # Bounds via Python float sums in ascending-index order — the
         # seed's exact accumulation, so sort order and pruning cannot
         # drift from it by a rounding ulp (a BLAS matvec here can).
-        eligible_per_row = [
-            np.flatnonzero(eligible_pos[row]) for row in candidate_rows
-        ]
         bounds = [
             float(sum(utilities[index] for index in eligible))
             for eligible in eligible_per_row
@@ -302,32 +360,100 @@ class TrimCachingSpec:
         # Stable sort: ties keep combination enumeration order, exactly
         # like the seed's stable list sort.
         order = np.argsort(-np.asarray(bounds, dtype=float), kind="stable")
+        lp_guard = None
+        if self.prefix_prune and len(candidate_rows) > 1:
+            lp_guard = self._prefix_guards(
+                utilities, context, candidate_eligible, candidate_rows, capacity
+            )
 
         def run_rank(rank: int) -> Tuple[float, List[int]]:
             pos = order[rank]
             eligible = eligible_per_row[pos]
-            values = [float(utilities[index]) for index in eligible]
-            weights = [int(context.specific_weight[index]) for index in eligible]
-            mass, chosen = self._run_knapsack(
-                values,
-                weights,
-                capacity - int(context.combo_sizes[candidate_rows[pos]]),
+            combo_capacity = capacity - int(
+                context.combo_sizes[candidate_rows[pos]]
             )
+            if tables is not None and self.backend == "value_dp":
+                mass, chosen = self._run_knapsack(
+                    utilities[eligible],
+                    context.specific_weight[eligible],
+                    combo_capacity,
+                    tables=tables,
+                )
+            else:
+                values = [float(utilities[index]) for index in eligible]
+                weights = [
+                    int(context.specific_weight[index]) for index in eligible
+                ]
+                mass, chosen = self._run_knapsack(values, weights, combo_capacity)
             return mass, [int(eligible[p]) for p in chosen]
 
         if pool is not None and len(order) > 1:
-            return self._traverse_parallel(bounds, order, run_rank, pool)
+            return self._traverse_parallel(bounds, order, run_rank, pool, lp_guard)
 
         best_mass = 0.0
         best_selection: List[int] = []
         for rank in range(len(order)):
-            if bounds[order[rank]] <= best_mass:
+            pos = order[rank]
+            if bounds[pos] <= best_mass:
                 break  # sorted: no later combo can beat the incumbent
+            if lp_guard is not None and lp_guard[pos] <= best_mass:
+                # The combo's knapsack optimum is at most its LP prefix
+                # bound: it cannot strictly improve, and only strict
+                # improvements ever change the selection. Skip it.
+                continue
             mass, selection = run_rank(rank)
             if mass > best_mass:
                 best_mass = mass
                 best_selection = selection
         return best_mass, best_selection
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _prefix_guards(
+        utilities: np.ndarray,
+        context: _SubproblemContext,
+        candidate_eligible: np.ndarray,
+        candidate_rows: np.ndarray,
+        capacity: int,
+    ) -> np.ndarray:
+        """Per-candidate LP prefix bounds on the knapsack optimum.
+
+        For each candidate combo, greedily fill its residual capacity
+        with eligible items in decreasing value density and add the
+        *full* value of the first item that no longer fits — the
+        classical LP-relaxation upper bound, rounded up. Computed as one
+        masked cumulative sum over the density-sorted item axis for all
+        candidates at once. A relative safety margin covers the float
+        reduction error, so a combo is only skipped when its true
+        achievable mass provably cannot exceed the incumbent — pruning
+        with these bounds is selection-transparent.
+        """
+        specific = context.specific_weight.astype(float)
+        density = utilities / np.maximum(specific, 1e-12)
+        perm = np.argsort(-density, kind="stable")
+        sorted_weights = specific[perm]
+        sorted_values = utilities[perm]
+        eligible_sorted = candidate_eligible[:, perm]
+        cum_weight = np.cumsum(eligible_sorted * sorted_weights, axis=1)
+        cum_value = np.cumsum(eligible_sorted * sorted_values, axis=1)
+        residual = (capacity - context.combo_sizes[candidate_rows]).astype(float)
+        # cum_weight is non-decreasing along the item axis, so the fits
+        # mask is a prefix and its sum is the prefix length.
+        prefix_len = (cum_weight <= residual[:, None]).sum(axis=1)
+        rows = np.arange(len(candidate_rows))
+        prefix_value = np.where(
+            prefix_len > 0, cum_value[rows, np.maximum(prefix_len - 1, 0)], 0.0
+        )
+        # The first position past the prefix is where cum_weight jumped
+        # above the residual — necessarily an eligible item (ineligible
+        # positions leave cum_weight flat), the LP break item.
+        num_items = sorted_values.shape[0]
+        break_value = np.where(
+            prefix_len < num_items,
+            sorted_values[np.minimum(prefix_len, num_items - 1)],
+            0.0,
+        )
+        return (prefix_value + break_value) * (1.0 + 1e-9)
 
     # ------------------------------------------------------------------
     def _traverse_parallel(
@@ -336,6 +462,7 @@ class TrimCachingSpec:
         order: np.ndarray,
         run_rank,
         pool: ThreadPoolExecutor,
+        lp_guard: Optional[np.ndarray] = None,
     ) -> Tuple[float, List[int]]:
         """Fan the knapsack batch over ``pool``, byte-identical reduce.
 
@@ -348,6 +475,12 @@ class TrimCachingSpec:
         * across chunks, only the strict ``bound < shared incumbent``
           prunes, because an equal-bound combo could still tie the final
           mass at an earlier rank and serial keeps the earliest winner.
+
+        The LP prefix guards are applied per rank with the same two
+        rules (``<=`` local, strict ``<`` shared) but *skip* instead of
+        break — they are not sorted along the traversal. A skipped combo
+        either cannot strictly beat an earlier-rank incumbent or cannot
+        be the maximal mass at all, so the replay below is unaffected.
 
         The earliest rank achieving the maximal mass is therefore always
         computed, and the in-order first-strict-improvement scan below
@@ -368,9 +501,14 @@ class TrimCachingSpec:
             results: List[Tuple[int, float, List[int]]] = []
             local_best = 0.0
             for rank in range(start, len(order), num_workers):
-                bound = bounds[order[rank]]
+                pos = order[rank]
+                bound = bounds[pos]
                 if bound <= local_best or bound < shared_best[0]:
                     break  # bounds descend within the chunk
+                if lp_guard is not None and (
+                    lp_guard[pos] <= local_best or lp_guard[pos] < shared_best[0]
+                ):
+                    continue
                 mass, selection = run_rank(rank)
                 results.append((rank, mass, selection))
                 if mass > local_best:
@@ -413,6 +551,9 @@ class TrimCachingSpec:
         placement = instance.new_placement()
         tracker = CoverageTracker(instance, engine=self.engine)
         per_server_mass: List[float] = []
+        tables: Optional[ValueDpTables] = None
+        if self.knapsack_cache and self.backend == "value_dp":
+            tables = ValueDpTables(self.epsilon)
         pool: Optional[ThreadPoolExecutor] = None
         if self.workers is not None and self.workers > 1:
             pool = ThreadPoolExecutor(max_workers=self.workers)
@@ -420,7 +561,13 @@ class TrimCachingSpec:
             for server in self._ordered_servers(instance):
                 utilities = tracker.server_gains(server)  # u(m,i), I2 applied
                 mass, selection = self.solve_subproblem(
-                    instance, server, utilities, combos, context, pool=pool
+                    instance,
+                    server,
+                    utilities,
+                    combos,
+                    context,
+                    pool=pool,
+                    tables=tables,
                 )
                 for model_index in selection:
                     placement.add(server, model_index)
@@ -429,18 +576,22 @@ class TrimCachingSpec:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
+        stats = {
+            "num_combinations": len(combos),
+            "epsilon": self.epsilon,
+            "backend": self.backend,
+            "workers": self.workers or 1,
+            "per_server_mass": per_server_mass,
+        }
+        if tables is not None:
+            stats["knapsack_cache_hits"] = tables.hits
+            stats["knapsack_cache_misses"] = tables.misses
         return SolverResult(
             placement=placement,
             hit_ratio=hit_ratio(instance, placement),
             runtime_s=time.perf_counter() - start,
             solver=self.name,
-            stats={
-                "num_combinations": len(combos),
-                "epsilon": self.epsilon,
-                "backend": self.backend,
-                "workers": self.workers or 1,
-                "per_server_mass": per_server_mass,
-            },
+            stats=stats,
         )
 
 
@@ -460,6 +611,9 @@ class SpecConfig:
     server_order: str = "index"
     workers: Optional[int] = None
     engine: str = "dense"
+    fallback: str = "weight_dp"
+    knapsack_cache: bool = True
+    prefix_prune: bool = True
     reuse_library_cache: bool = True
 
     def build(self) -> "TrimCachingSpec":
@@ -472,5 +626,8 @@ class SpecConfig:
             server_order=self.server_order,
             workers=self.workers,
             engine=self.engine,
+            fallback=self.fallback,
+            knapsack_cache=self.knapsack_cache,
+            prefix_prune=self.prefix_prune,
             reuse_library_cache=self.reuse_library_cache,
         )

@@ -52,9 +52,7 @@ class ZipfPopularity:
                 "num_users and num_models must both be at least 1"
             )
         rng = as_generator(seed)
-        ranks = np.arange(1, num_models + 1, dtype=float)
-        weights = ranks ** (-self.exponent)
-        base = weights / weights.sum()
+        base = self._base_weights(num_models)
         matrix = np.empty((num_users, num_models))
         if self.per_user_permutation:
             for user in range(num_users):
@@ -63,6 +61,37 @@ class ZipfPopularity:
             shared = base[rng.permutation(num_models)]
             matrix[:] = shared
         return matrix
+
+    def probabilities_batched(
+        self, num_users: int, num_models: int, seed: SeedLike = None
+    ) -> np.ndarray:
+        """Batched ``p_{k,i}`` draw — the ``rng_scheme="v2"`` path.
+
+        One ``rng.permuted`` pass shuffles every user's rank assignment
+        at once instead of K per-user ``rng.permutation`` calls. Each
+        row is an independent uniform permutation of the same Zipf
+        weights, so the matrix is distributed exactly like
+        :meth:`probabilities`'s — but it consumes the stream in a
+        different layout, so the two methods differ draw-by-draw for
+        the same seed (which is why the scheme is versioned).
+        """
+        if num_users < 1 or num_models < 1:
+            raise ConfigurationError(
+                "num_users and num_models must both be at least 1"
+            )
+        rng = as_generator(seed)
+        base = self._base_weights(num_models)
+        if self.per_user_permutation:
+            ranks = np.tile(np.arange(num_models), (num_users, 1))
+            return base[rng.permuted(ranks, axis=1)]
+        shared = base[rng.permutation(num_models)]
+        return np.tile(shared, (num_users, 1))
+
+    def _base_weights(self, num_models: int) -> np.ndarray:
+        """Normalised Zipf weights in rank order."""
+        ranks = np.arange(1, num_models + 1, dtype=float)
+        weights = ranks ** (-self.exponent)
+        return weights / weights.sum()
 
 
 def uniform_popularity(num_users: int, num_models: int) -> np.ndarray:

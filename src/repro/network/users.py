@@ -83,3 +83,50 @@ class User:
             inference_latency_s=self.inference_latency_s,
             active_probability=self.active_probability,
         )
+
+
+def users_from_batch(
+    positions,
+    deadlines_s: np.ndarray,
+    inference_latency_s: np.ndarray,
+    active_probability: float = 0.5,
+) -> "list[User]":
+    """Build a user population from batched ``(K, I)`` QoS matrices.
+
+    The ``rng_scheme="v2"`` counterpart of the per-user constructor
+    loop: every invariant ``User.__post_init__`` enforces is checked
+    here once, vectorised over the whole batch, and the frozen
+    instances are then assembled directly (each user's QoS vectors are
+    row views of the batch matrices). User ids are dense from 0, like
+    the construction loop in :func:`~repro.sim.scenario.build_scenario`.
+    """
+    deadlines = np.asarray(deadlines_s, dtype=float)
+    inference = np.asarray(inference_latency_s, dtype=float)
+    if deadlines.ndim != 2 or inference.ndim != 2:
+        raise ConfigurationError(
+            "batched deadlines and inference latency must be 2-D"
+        )
+    if deadlines.shape != inference.shape:
+        raise ConfigurationError(
+            "deadlines and inference latency must have equal shape"
+        )
+    if len(positions) != deadlines.shape[0]:
+        raise ConfigurationError(
+            "positions must list one entry per batched QoS row"
+        )
+    if np.any(deadlines <= 0):
+        raise ConfigurationError("deadlines must be positive")
+    if np.any(inference < 0):
+        raise ConfigurationError("inference latency must be non-negative")
+    if not 0 < active_probability <= 1:
+        raise ConfigurationError("active_probability must be in (0, 1]")
+    users = []
+    for index, position in enumerate(positions):
+        user = object.__new__(User)
+        object.__setattr__(user, "user_id", index)
+        object.__setattr__(user, "position", position)
+        object.__setattr__(user, "deadlines_s", deadlines[index])
+        object.__setattr__(user, "inference_latency_s", inference[index])
+        object.__setattr__(user, "active_probability", active_probability)
+        users.append(user)
+    return users

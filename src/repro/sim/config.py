@@ -61,6 +61,14 @@ class ScenarioConfig:
     requests_per_user: Optional[int] = None
     # Library
     library_case: str = "special"  # "special" | "general"
+    #: Scenario RNG scheme. ``"v1"`` (default) is the seed's per-user
+    #: Python draw order, preserved verbatim so default series stay
+    #: ``==``-identical to the seed. ``"v2"`` draws the same
+    #: distributions in batched numpy passes (one ``rng.permuted``/
+    #: gather instead of K per-user calls) — statistically equivalent
+    #: but a different stream layout, so it is opt-in and hashed into
+    #: plan identities like any other config field.
+    rng_scheme: str = "v1"
 
     def __post_init__(self) -> None:
         check_positive("num_servers", self.num_servers)
@@ -102,6 +110,10 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"library_case must be 'special' or 'general', got "
                 f"{self.library_case!r}"
+            )
+        if self.rng_scheme not in ("v1", "v2"):
+            raise ConfigurationError(
+                f"rng_scheme must be 'v1' or 'v2', got {self.rng_scheme!r}"
             )
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":

@@ -35,7 +35,7 @@ from repro.network.geometry import uniform_points
 from repro.network.latency import LatencyModel
 from repro.network.servers import EdgeServer
 from repro.network.topology import NetworkTopology
-from repro.network.users import User
+from repro.network.users import User, users_from_batch
 from repro.sim.config import ScenarioConfig
 from repro.utils.rng import RngFactory
 
@@ -101,7 +101,13 @@ def _build_demand(config: ScenarioConfig, rng) -> np.ndarray:
     The paper's per-figure "I = 30" denotes how many models each user may
     request from the (much larger) library; requests within the subset
     are Zipf-distributed and each row sums to one.
+
+    ``rng_scheme="v1"`` is the seed's per-user draw order, verbatim —
+    default series depend on it bit-for-bit. ``"v2"`` draws the same
+    distributions in batched passes (:func:`_build_demand_v2`).
     """
+    if config.rng_scheme == "v2":
+        return _build_demand_v2(config, rng)
     popularity = ZipfPopularity(
         exponent=config.zipf_exponent,
         per_user_permutation=config.per_user_popularity,
@@ -116,6 +122,38 @@ def _build_demand(config: ScenarioConfig, rng) -> np.ndarray:
     for user in range(config.num_users):
         chosen = rng.choice(config.num_models, size=subset_size, replace=False)
         demand[user, chosen] = compact[user]
+    return demand
+
+
+def _build_demand_v2(config: ScenarioConfig, rng) -> np.ndarray:
+    """Batched Zipf demand (``rng_scheme="v2"``).
+
+    The per-user subset draw is one ``rng.permuted`` pass: each row of a
+    tiled ``arange`` is shuffled independently and its first
+    ``requests_per_user`` entries are that user's subset — an ordered
+    uniform sample without replacement, exactly the distribution of the
+    v1 per-user ``rng.choice(..., replace=False)`` calls. A single
+    ``put_along_axis`` gather then scatters the compact Zipf rows into
+    the full demand matrix.
+    """
+    popularity = ZipfPopularity(
+        exponent=config.zipf_exponent,
+        per_user_permutation=config.per_user_popularity,
+    )
+    if config.requests_per_user is None:
+        return popularity.probabilities_batched(
+            config.num_users, config.num_models, rng
+        )
+    subset_size = config.requests_per_user
+    compact = popularity.probabilities_batched(
+        config.num_users, subset_size, rng
+    )
+    shuffled = rng.permuted(
+        np.tile(np.arange(config.num_models), (config.num_users, 1)), axis=1
+    )
+    chosen = shuffled[:, :subset_size]
+    demand = np.zeros((config.num_users, config.num_models))
+    np.put_along_axis(demand, chosen, compact, axis=1)
     return demand
 
 
@@ -184,24 +222,42 @@ def build_scenario(
         config.num_users, config.area_side_m, factory.child("user-positions")
     )
     qos_rng = factory.child("qos")
-    users = [
-        User(
-            user_id=index,
-            position=position,
-            deadlines_s=qos_rng.uniform(
-                config.deadline_range_s[0],
-                config.deadline_range_s[1],
-                size=config.num_models,
-            ),
-            inference_latency_s=qos_rng.uniform(
-                config.inference_latency_range_s[0],
-                config.inference_latency_range_s[1],
-                size=config.num_models,
-            ),
-            active_probability=config.active_probability,
+    if config.rng_scheme == "v2":
+        # Batched QoS: one (K, I) uniform block per quantity instead of
+        # two K-long loops of per-user draws, then the batch-validated
+        # constructor. Same distributions, different stream layout.
+        deadlines = qos_rng.uniform(
+            config.deadline_range_s[0],
+            config.deadline_range_s[1],
+            size=(config.num_users, config.num_models),
         )
-        for index, position in enumerate(user_positions)
-    ]
+        inference = qos_rng.uniform(
+            config.inference_latency_range_s[0],
+            config.inference_latency_range_s[1],
+            size=(config.num_users, config.num_models),
+        )
+        users = users_from_batch(
+            user_positions, deadlines, inference, config.active_probability
+        )
+    else:
+        users = [
+            User(
+                user_id=index,
+                position=position,
+                deadlines_s=qos_rng.uniform(
+                    config.deadline_range_s[0],
+                    config.deadline_range_s[1],
+                    size=config.num_models,
+                ),
+                inference_latency_s=qos_rng.uniform(
+                    config.inference_latency_range_s[0],
+                    config.inference_latency_range_s[1],
+                    size=config.num_models,
+                ),
+                active_probability=config.active_probability,
+            )
+            for index, position in enumerate(user_positions)
+        ]
 
     topology = NetworkTopology(servers, users, channel, backhaul)
     demand = _build_demand(config, factory.child("demand"))

@@ -8,7 +8,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dp import (
+    KNAPSACK_BACKENDS,
+    ValueDpTables,
     enumerate_shared_combinations,
+    knapsack_best_first,
     knapsack_branch_and_bound,
     knapsack_value_dp,
     knapsack_weight_dp,
@@ -67,6 +70,157 @@ class TestBranchAndBound:
         best, selected = knapsack_branch_and_bound([1.0, 2.0], [0, 10], 5)
         assert best == pytest.approx(1.0)
         assert selected == [0]
+
+
+#: Instances that include zero-weight and zero-value edge items, so the
+#: density sort's ``max(weight, 1e-12)`` guard and the positive-value
+#: filter are both exercised. Values are exact quarter multiples: subset
+#: sums are then float-exact, so equal-value optima are *exact* ties
+#: (stressing the preorder tie-break) and strict improvements are
+#: >= 0.25 — far above the DFS's 1e-12 pruning slack, keeping the
+#: documented sub-slack divergence corner out of scope.
+edge_knapsack_instances = st.tuples(
+    st.lists(st.integers(0, 40).map(lambda n: n / 4.0), min_size=1, max_size=10),
+    st.lists(st.integers(0, 50), min_size=1, max_size=10),
+    st.integers(0, 120),
+).map(
+    lambda t: (
+        t[0][: min(len(t[0]), len(t[1]))],
+        t[1][: min(len(t[0]), len(t[1]))],
+        t[2],
+    )
+)
+
+
+class TestBestFirst:
+    @given(knapsack_instances)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, instance):
+        values, weights, capacity = instance
+        best, selected = knapsack_best_first(values, weights, capacity)
+        assert best == pytest.approx(brute_force_knapsack(values, weights, capacity))
+        assert sum(weights[i] for i in selected) <= capacity
+        assert best == pytest.approx(sum(values[i] for i in selected))
+
+    @given(edge_knapsack_instances)
+    @settings(max_examples=150, deadline=None)
+    def test_selection_identical_to_dfs(self, instance):
+        """Best-first must return the *same selection* as the depth-first
+        reference, not merely the same value — the Spec fallback chain
+        relies on that for byte-identical placements."""
+        values, weights, capacity = instance
+        dfs_value, dfs_set = knapsack_branch_and_bound(values, weights, capacity)
+        bf_value, bf_set = knapsack_best_first(values, weights, capacity)
+        assert bf_set == dfs_set
+        assert bf_value == dfs_value
+
+    @given(edge_knapsack_instances)
+    @settings(max_examples=100, deadline=None)
+    def test_value_dp_epsilon_floor_consistency(self, instance):
+        """On edge instances (zero weights/values allowed) the ε-rounded
+        DP keeps its (1-ε) guarantee against the best-first optimum."""
+        values, weights, capacity = instance
+        optimum, _ = knapsack_best_first(values, weights, capacity)
+        approx, selected = knapsack_value_dp(values, weights, capacity, 0.1)
+        assert sum(weights[i] for i in selected) <= capacity
+        assert approx >= (1 - 0.1) * optimum - 1e-9
+
+    def test_empty(self):
+        assert knapsack_best_first([], [], 10) == (0.0, [])
+
+    def test_zero_capacity(self):
+        best, selected = knapsack_best_first([5.0], [3], 0)
+        assert best == 0.0 and selected == []
+
+    def test_zero_weight_items_always_taken(self):
+        best, selected = knapsack_best_first([1.0, 2.0], [0, 10], 5)
+        assert best == pytest.approx(1.0)
+        assert selected == [0]
+
+    def test_node_budget_enforced(self):
+        # Identical densities defeat the LP bound, forcing exploration.
+        values = [1.0] * 30
+        weights = [2] * 30
+        with pytest.raises(SolverError):
+            knapsack_best_first(values, weights, 29, max_nodes=10)
+
+    def test_registered_backend(self):
+        assert KNAPSACK_BACKENDS["best_first"] is knapsack_best_first
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            knapsack_best_first([1.0], [1, 2], 5)
+        with pytest.raises(SolverError):
+            knapsack_best_first([-1.0], [1], 5)
+
+
+class TestValueDpTables:
+    @given(edge_knapsack_instances)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_to_uncached_solver(self, instance):
+        """The memoised tables replicate ``knapsack_value_dp`` exactly:
+        same value, same selection, for every instance."""
+        values, weights, capacity = instance
+        tables = ValueDpTables(epsilon=0.1)
+        expected = knapsack_value_dp(values, weights, capacity, 0.1)
+        assert tables.solve(values, weights, capacity) == expected
+        # Second call is a cache hit and still byte-identical.
+        assert tables.solve(values, weights, capacity) == expected
+
+    def test_hit_miss_accounting(self):
+        tables = ValueDpTables(epsilon=0.1)
+        tables.solve([1.0, 2.0], [1, 2], 3)
+        assert (tables.hits, tables.misses) == (0, 1)
+        tables.solve([1.0, 2.0], [1, 2], 3)
+        assert (tables.hits, tables.misses) == (1, 1)
+        # A different capacity that keeps the same filtered item set
+        # reuses the fill (the table is capacity-independent).
+        tables.solve([1.0, 2.0], [1, 2], 2)
+        assert (tables.hits, tables.misses) == (2, 1)
+        # Capacity 1 filters out the weight-2 item: a new key.
+        tables.solve([1.0, 2.0], [1, 2], 1)
+        assert (tables.hits, tables.misses) == (2, 2)
+
+    def test_capacity_variation_matches_uncached(self):
+        values = [3.0, 4.0, 5.0, 6.0]
+        weights = [2, 3, 4, 5]
+        tables = ValueDpTables(epsilon=0.1)
+        for capacity in range(0, 15):
+            assert tables.solve(values, weights, capacity) == knapsack_value_dp(
+                values, weights, capacity, 0.1
+            )
+
+    def test_blown_table_raises_and_is_cached(self):
+        tables = ValueDpTables(epsilon=0.001, max_states=100)
+        values = [1e-9] + [1.0] * 10
+        weights = [1] * 11
+        with pytest.raises(SolverError):
+            tables.solve(values, weights, 11)
+        # Repeat raises from the cached marker (no refill): miss stays 1.
+        with pytest.raises(SolverError):
+            tables.solve(values, weights, 11)
+        assert (tables.hits, tables.misses) == (1, 1)
+
+    def test_epsilon_zero_rejected(self):
+        with pytest.raises(SolverError):
+            ValueDpTables(epsilon=0.0)
+
+    def test_validation_matches_uncached(self):
+        tables = ValueDpTables(epsilon=0.1)
+        with pytest.raises(SolverError):
+            tables.solve([1.0], [1, 2], 5)
+        with pytest.raises(SolverError):
+            tables.solve([-1.0], [1], 5)
+        with pytest.raises(SolverError):
+            tables.solve([1.0], [-1], 5)
+        with pytest.raises(SolverError):
+            tables.solve([1.0], [1], -5)
+
+    def test_max_entries_bounds_cache(self):
+        tables = ValueDpTables(epsilon=0.1, max_entries=2)
+        for index in range(5):
+            tables.solve([1.0 + index], [1], 2)
+        assert len(tables._tables) == 2
 
 
 class TestValueDp:
@@ -131,10 +285,12 @@ class TestBackendAgreement:
     def test_all_backends_feasible_and_ordered(self, instance):
         values, weights, capacity = instance
         exact, _ = knapsack_branch_and_bound(values, weights, capacity)
+        best_first, _ = knapsack_best_first(values, weights, capacity)
         approx, _ = knapsack_value_dp(values, weights, capacity, 0.1)
         weight_exact, _ = knapsack_weight_dp(values, weights, capacity, quantum=1)
         assert approx <= exact + 1e-9
         assert weight_exact == pytest.approx(exact)
+        assert best_first == exact
 
 
 class TestValidation:

@@ -1,0 +1,194 @@
+"""Tests for the optional compiled kernels (``engine="compiled"``).
+
+Run on a dependency-free install the numpy fallbacks are exercised; with
+numba present the jitted paths run instead. Either way the compiled
+engine's *placements* must equal the dense engine's — the same pin the
+sparse engine carries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.gen import TrimCachingGen
+from repro.core.independent import IndependentCaching
+from repro.core.objective import CoverageTracker
+from repro.core.placement import PlacementInstance
+from repro.core.spec import TrimCachingSpec
+from repro.errors import PlacementError
+
+
+class TestPrefersCompiled:
+    def test_compiled_always_prefers(self):
+        assert kernels.prefers_compiled("compiled") is True
+
+    def test_dense_and_sparse_never_prefer(self):
+        assert kernels.prefers_compiled("dense") is False
+        assert kernels.prefers_compiled("sparse") is False
+
+    def test_auto_follows_numba_availability(self, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", True)
+        assert kernels.prefers_compiled("auto") is True
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", False)
+        assert kernels.prefers_compiled("auto") is False
+
+
+class TestKernelPrimitives:
+    """Each kernel against the plain-numpy expression it replaces."""
+
+    def test_dense_column_gains(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            servers, users = rng.integers(1, 12, size=2)
+            feasible = rng.uniform(size=(servers, users)) < 0.5
+            weighted = rng.uniform(size=users)
+            out = np.empty(servers)
+            kernels.dense_column_gains(feasible, weighted, out)
+            expected = np.einsum("mk,k->m", feasible, weighted)
+            np.testing.assert_allclose(out, expected, rtol=1e-15)
+
+    def test_sparse_column_gains(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            num_servers, num_users = rng.integers(2, 12, size=2)
+            nnz = int(rng.integers(0, 30))
+            servers = rng.integers(0, num_servers, size=nnz)
+            users = rng.integers(0, num_users, size=nnz)
+            weighted = rng.uniform(size=num_users)
+            out = np.empty(num_servers)
+            kernels.sparse_column_gains(servers, users, weighted, out)
+            expected = np.bincount(
+                servers, weights=weighted[users], minlength=num_servers
+            )
+            np.testing.assert_allclose(out, expected, rtol=1e-15)
+
+    def _argmax_reference(self, gains, extras, remaining):
+        fit = (extras if extras.ndim == 2 else extras[None, :]) <= remaining
+        value = np.where(fit, gains, -1.0)
+        return int(np.argmax(value))
+
+    def test_masked_argmax_2d_extras(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            servers, models = rng.integers(1, 10, size=2)
+            gains = rng.uniform(0.0, 1.0, size=(servers, models))
+            extras = rng.integers(0, 20, size=(servers, models)).astype(np.int64)
+            remaining = rng.integers(0, 20, size=(servers, 1)).astype(np.int64)
+            fit = np.empty((servers, models), dtype=bool)
+            value = np.empty((servers, models))
+            flat = kernels.masked_argmax(gains, extras, remaining, fit, value)
+            assert flat == self._argmax_reference(gains, extras, remaining)
+
+    def test_masked_argmax_1d_sizes(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            servers, models = rng.integers(1, 10, size=2)
+            gains = rng.uniform(0.0, 1.0, size=(servers, models))
+            sizes = rng.integers(0, 20, size=models).astype(np.int64)
+            remaining = rng.integers(0, 20, size=(servers, 1)).astype(np.int64)
+            fit = np.empty((servers, models), dtype=bool)
+            value = np.empty((servers, models))
+            flat = kernels.masked_argmax(gains, sizes, remaining, fit, value)
+            assert flat == self._argmax_reference(gains, sizes, remaining)
+
+    def test_masked_argmax_ties_resolve_row_major_first(self):
+        # All-equal gains with everything fitting: index 0 wins, as in
+        # np.argmax — the greedy tie-break the seed pins.
+        gains = np.ones((3, 4))
+        sizes = np.zeros(4, dtype=np.int64)
+        remaining = np.ones((3, 1), dtype=np.int64)
+        fit = np.empty((3, 4), dtype=bool)
+        value = np.empty((3, 4))
+        assert kernels.masked_argmax(gains, sizes, remaining, fit, value) == 0
+
+    def test_masked_argmax_nothing_fits(self):
+        # Every pair masked to -1: the argmax falls to flat index 0 and
+        # the callers' gain<=0 stop condition fires.
+        gains = np.ones((2, 2))
+        sizes = np.full(2, 10, dtype=np.int64)
+        remaining = np.zeros((2, 1), dtype=np.int64)
+        fit = np.empty((2, 2), dtype=bool)
+        value = np.empty((2, 2))
+        assert kernels.masked_argmax(gains, sizes, remaining, fit, value) == 0
+
+
+class TestCompiledEngineWiring:
+    def test_tracker_accepts_compiled(self, tiny_instance):
+        tracker = CoverageTracker(tiny_instance, engine="compiled")
+        assert tracker.engine == "compiled"
+
+    def test_tracker_auto_resolution(self, tiny_instance, monkeypatch):
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", True)
+        assert CoverageTracker(tiny_instance, engine="auto").engine == "compiled"
+        monkeypatch.setattr(kernels, "HAVE_NUMBA", False)
+        assert CoverageTracker(tiny_instance, engine="auto").engine == "dense"
+
+    def test_tracker_rejects_unknown(self, tiny_instance):
+        with pytest.raises(PlacementError):
+            CoverageTracker(tiny_instance, engine="magic")
+
+    def test_solvers_accept_compiled(self):
+        assert TrimCachingGen(engine="compiled").engine == "compiled"
+        assert IndependentCaching(engine="compiled").engine == "compiled"
+        assert TrimCachingSpec(engine="compiled").engine == "compiled"
+
+    def test_compiled_tracker_gains_match_dense(self, tiny_instance):
+        dense = CoverageTracker(tiny_instance, engine="dense")
+        compiled = CoverageTracker(tiny_instance, engine="compiled")
+        np.testing.assert_allclose(
+            compiled.gain_matrix_view(), dense.gain_matrix_view(), rtol=1e-12
+        )
+        dense.mark_served(0, 0)
+        compiled.mark_served(0, 0)
+        np.testing.assert_allclose(
+            compiled.gain_matrix_view(), dense.gain_matrix_view(), rtol=1e-12
+        )
+
+
+class TestCompiledEnginePlacementPin:
+    """The compiled engine is pinned at the placement level: identical
+    placements (and therefore identical hit-ratio series) to the dense
+    engine on dense-primary instances and to the sparse engine on
+    sparse-primary ones."""
+
+    @pytest.mark.parametrize(
+        "solver_factory",
+        [
+            lambda engine: TrimCachingGen(engine=engine),
+            lambda engine: IndependentCaching(engine=engine),
+            lambda engine: TrimCachingSpec(epsilon=0.1, engine=engine),
+        ],
+        ids=["gen", "independent", "spec"],
+    )
+    def test_matches_dense_on_scenario(self, tight_scenario, solver_factory):
+        instance = tight_scenario.instance
+        dense = solver_factory("dense").solve(instance)
+        compiled = solver_factory("compiled").solve(instance)
+        assert np.array_equal(
+            compiled.placement.matrix, dense.placement.matrix
+        )
+        assert compiled.hit_ratio == dense.hit_ratio
+
+    def test_matches_sparse_on_sparse_primary(self, tight_scenario):
+        # Scenario instances are built sparse-primary, so the compiled
+        # engine runs the sparse-state fold — pin it to the sparse
+        # engine byte-for-byte.
+        instance = tight_scenario.instance
+        assert instance.is_sparse_primary
+        sparse = TrimCachingGen(engine="sparse").solve(instance)
+        compiled = TrimCachingGen(engine="compiled").solve(instance)
+        assert np.array_equal(
+            compiled.placement.matrix, sparse.placement.matrix
+        )
+
+    def test_matches_dense_on_dense_instance(self, tiny_instance):
+        assert not tiny_instance.is_sparse_primary
+        for factory in (
+            lambda engine: TrimCachingGen(engine=engine),
+            lambda engine: IndependentCaching(engine=engine),
+        ):
+            dense = factory("dense").solve(tiny_instance)
+            compiled = factory("compiled").solve(tiny_instance)
+            assert np.array_equal(
+                compiled.placement.matrix, dense.placement.matrix
+            )

@@ -194,6 +194,169 @@ class TestBackendsAgree:
         assert result.hit_ratio == pytest.approx(exact.hit_ratio, abs=1e-9)
 
 
+class TestRunKnapsackFallbackChain:
+    """The value_dp → weight_dp(quantum) → exact rescue chain, rung by
+    rung, on a wide-value-spread instance that blows the rounded DP."""
+
+    # A value spread of ~5 orders of magnitude: at ε = 0.1 the rounded
+    # table needs ~1e7 states, so the value_dp rung always raises — and
+    # the 1e-4 improvements stay far above the exact backends' 1e-12
+    # pruning slack, so every exact rescue rung agrees on the selection.
+    wide_values = [1e-4, 7.0, 5.0, 4.0, 3.0]
+    wide_weights = [1, 4, 3, 3, 2]
+    capacity = 8
+
+    def _spec(self, **kwargs):
+        return TrimCachingSpec(epsilon=0.1, **kwargs)
+
+    def test_value_dp_rung_blows_on_this_instance(self):
+        from repro.core.dp import knapsack_value_dp
+
+        with pytest.raises(SolverError):
+            knapsack_value_dp(
+                self.wide_values, self.wide_weights, self.capacity, 0.1
+            )
+
+    def test_rung2_lands_on_quantised_weight_dp(self):
+        from repro.core.dp import knapsack_weight_dp
+
+        result = self._spec()._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+        quantum = max(1, self.capacity // 800)
+        assert result == knapsack_weight_dp(
+            self.wide_values, self.wide_weights, self.capacity, quantum=quantum
+        )
+
+    def test_rung3_lands_on_exact_when_weight_dp_blows(self, monkeypatch):
+        from repro.core import dp as dp_module
+
+        def blown(*args, **kwargs):
+            raise SolverError("weight DP table blown (test)")
+
+        monkeypatch.setitem(dp_module.KNAPSACK_BACKENDS, "weight_dp", blown)
+        result = self._spec()._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+        assert result == dp_module.knapsack_branch_and_bound(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+
+    def test_all_rungs_select_identically_here(self, monkeypatch):
+        """On this instance quantum=1 keeps the weight DP exact, so all
+        three rescue rungs must return the identical selection."""
+        from repro.core import dp as dp_module
+
+        rung2 = self._spec()._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+        best_first = self._spec(fallback="best_first")._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+
+        def blown(*args, **kwargs):
+            raise SolverError("weight DP table blown (test)")
+
+        monkeypatch.setitem(dp_module.KNAPSACK_BACKENDS, "weight_dp", blown)
+        rung3 = self._spec()._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+        assert rung2[1] == rung3[1] == best_first[1]
+        assert rung2[0] == rung3[0] == best_first[0]
+
+    def test_best_first_fallback_used_when_configured(self):
+        from repro.core.dp import knapsack_best_first
+
+        result = self._spec(fallback="best_first")._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+        assert result == knapsack_best_first(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+
+    def test_best_first_budget_overrun_drops_to_legacy_rungs(self, monkeypatch):
+        from repro.core import dp as dp_module
+        from repro.core.dp import knapsack_weight_dp
+
+        def over_budget(*args, **kwargs):
+            raise SolverError("best-first node budget exceeded (test)")
+
+        monkeypatch.setitem(
+            dp_module.KNAPSACK_BACKENDS, "best_first", over_budget
+        )
+        result = self._spec(fallback="best_first")._run_knapsack(
+            self.wide_values, self.wide_weights, self.capacity
+        )
+        quantum = max(1, self.capacity // 800)
+        assert result == knapsack_weight_dp(
+            self.wide_values, self.wide_weights, self.capacity, quantum=quantum
+        )
+
+    def test_healthy_instance_never_falls_back(self):
+        from repro.core.dp import knapsack_value_dp
+
+        values = [3.0, 4.0, 5.0]
+        weights = [2, 3, 4]
+        assert self._spec()._run_knapsack(values, weights, 6) == (
+            knapsack_value_dp(values, weights, 6, 0.1)
+        )
+
+
+class TestSpecKnobs:
+    def test_fallback_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrimCachingSpec(fallback="magic")
+        assert TrimCachingSpec(fallback="best_first").fallback == "best_first"
+
+    def test_knapsack_cache_off_matches_on(self, tight_scenario):
+        on = TrimCachingSpec(epsilon=0.1, knapsack_cache=True).solve(
+            tight_scenario.instance
+        )
+        off = TrimCachingSpec(epsilon=0.1, knapsack_cache=False).solve(
+            tight_scenario.instance
+        )
+        assert np.array_equal(on.placement.matrix, off.placement.matrix)
+        assert on.hit_ratio == off.hit_ratio
+        assert "knapsack_cache_hits" in on.stats
+        assert "knapsack_cache_hits" not in off.stats
+
+    def test_prefix_prune_off_matches_on(self, tight_scenario):
+        on = TrimCachingSpec(epsilon=0.1, prefix_prune=True).solve(
+            tight_scenario.instance
+        )
+        off = TrimCachingSpec(epsilon=0.1, prefix_prune=False).solve(
+            tight_scenario.instance
+        )
+        assert np.array_equal(on.placement.matrix, off.placement.matrix)
+        assert on.hit_ratio == off.hit_ratio
+
+    @given(special_instances())
+    @settings(max_examples=20, deadline=None)
+    def test_pruned_cached_solve_matches_plain(self, instance):
+        """Both fast-path knobs off == both on, placement-identical, on
+        random special-case instances."""
+        fast = TrimCachingSpec(epsilon=0.1).solve(instance)
+        plain = TrimCachingSpec(
+            epsilon=0.1, knapsack_cache=False, prefix_prune=False
+        ).solve(instance)
+        assert np.array_equal(fast.placement.matrix, plain.placement.matrix)
+        assert fast.hit_ratio == plain.hit_ratio
+
+    def test_best_first_fallback_matches_default_on_scenario(
+        self, tight_scenario
+    ):
+        default = TrimCachingSpec(epsilon=0.1).solve(tight_scenario.instance)
+        best_first = TrimCachingSpec(epsilon=0.1, fallback="best_first").solve(
+            tight_scenario.instance
+        )
+        # Both chains are exact-or-better on these small instances; the
+        # placements may only differ if a fallback rung actually fired
+        # and disagreed — they must not here.
+        assert np.array_equal(
+            default.placement.matrix, best_first.placement.matrix
+        )
+
+
 class TestSpecOnSpecialScenario:
     def test_beats_or_matches_gen(self, tight_scenario):
         """The paper's headline: Spec >= Gen on the special case (allow

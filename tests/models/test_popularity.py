@@ -73,3 +73,43 @@ class TestUniformPopularity:
     def test_invalid(self):
         with pytest.raises(ConfigurationError):
             uniform_popularity(0, 1)
+
+
+class TestProbabilitiesBatched:
+    """The ``rng_scheme="v2"`` batched draw against the per-user one."""
+
+    def test_rows_sum_to_one(self):
+        matrix = ZipfPopularity().probabilities_batched(5, 20, seed=0)
+        assert matrix.shape == (5, 20)
+        assert matrix.sum(axis=1) == pytest.approx(np.ones(5))
+
+    def test_rows_are_permutations_of_base_weights(self):
+        """Every row holds exactly the Zipf weights, permuted — the
+        batched draw changes the stream layout, not the support."""
+        pop = ZipfPopularity(exponent=0.8)
+        batched = pop.probabilities_batched(6, 15, seed=3)
+        looped = pop.probabilities(6, 15, seed=3)
+        for row in range(6):
+            assert np.sort(batched[row]) == pytest.approx(np.sort(looped[0]))
+
+    def test_shared_ranking_identical_rows(self):
+        matrix = ZipfPopularity(per_user_permutation=False).probabilities_batched(
+            4, 10, seed=1
+        )
+        assert (matrix == matrix[0]).all()
+
+    def test_reproducible(self):
+        pop = ZipfPopularity()
+        a = pop.probabilities_batched(4, 12, seed=9)
+        b = pop.probabilities_batched(4, 12, seed=9)
+        assert (a == b).all()
+
+    def test_rows_permuted_independently(self):
+        matrix = ZipfPopularity(exponent=1.2).probabilities_batched(20, 30, seed=2)
+        assert not (matrix == matrix[0]).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity().probabilities_batched(0, 5)
+        with pytest.raises(ConfigurationError):
+            ZipfPopularity().probabilities_batched(5, 0)

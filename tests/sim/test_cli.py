@@ -120,6 +120,75 @@ class TestGenericSweep:
         out = capsys.readouterr().out
         assert "zipf_exponent" in out
 
+    def test_sweep_rng_scheme_v2_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "users",
+                    "--points",
+                    "4,8",
+                    "--algos",
+                    "gen",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                    "--rng-scheme",
+                    "v2",
+                ]
+            )
+            == 0
+        )
+        assert "TrimCaching Gen (mean)" in capsys.readouterr().out
+
+    def test_sweep_rng_scheme_lands_in_plan(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "users",
+                    "--points",
+                    "4",
+                    "--rng-scheme",
+                    "v2",
+                    "--dry-run",
+                ]
+            )
+            == 0
+        )
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["base"]["rng_scheme"] == "v2"
+
+    def test_sweep_profile_appends_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--axis",
+                    "users",
+                    "--points",
+                    "4",
+                    "--algos",
+                    "gen",
+                    "--topologies",
+                    "1",
+                    "--scale",
+                    "0.05",
+                    "--profile",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "TrimCaching Gen (mean)" in out
+        assert "cumulative time" in out
+        assert "function calls" in out
+
     def test_sweep_dry_run_prints_plan(self, capsys):
         assert (
             main(
@@ -346,6 +415,13 @@ class TestPlanFileSweep:
         )
         err = capsys.readouterr().err
         assert "--engine" in err and "--topologies" in err
+        assert (
+            main(
+                ["sweep", "--plan", str(plan_file), "--rng-scheme", "v2"]
+            )
+            == 2
+        )
+        assert "--rng-scheme" in capsys.readouterr().err
 
     def test_neither_axis_nor_plan_exits_2(self, capsys):
         assert main(["sweep", "--algos", "gen"]) == 2

@@ -44,6 +44,8 @@ class TestValidation:
             ("inference_latency_range_s", (-0.1, 0.2)),
             ("zipf_exponent", -0.5),
             ("library_case", "magic"),
+            ("rng_scheme", "v3"),
+            ("rng_scheme", ""),
         ],
     )
     def test_rejects_bad_values(self, field, value):
@@ -52,6 +54,16 @@ class TestValidation:
 
     def test_zero_storage_allowed(self):
         assert ScenarioConfig(storage_bytes=0).storage_bytes == 0
+
+    def test_rng_scheme_defaults_to_v1(self):
+        assert ScenarioConfig().rng_scheme == "v1"
+        assert ScenarioConfig(rng_scheme="v2").rng_scheme == "v2"
+
+    def test_rng_scheme_round_trips(self):
+        config = ScenarioConfig(rng_scheme="v2")
+        payload = config.to_dict()
+        assert payload["rng_scheme"] == "v2"
+        assert ScenarioConfig.from_dict(payload) == config
 
 
 class TestOverrides:
