@@ -117,6 +117,79 @@ def _solvers(args: argparse.Namespace) -> str:
     return SOLVERS.to_table()
 
 
+def _serve_scenario(args: argparse.Namespace):
+    """The scenario a ``serve`` invocation describes (plan file or flags)."""
+    from repro.errors import ConfigurationError
+    from repro.sim.config import ScenarioConfig
+    from repro.sim.scenario import build_scenario
+    from repro.utils.units import GB
+
+    if args.plan is not None:
+        from repro.api import plan_from_json
+
+        try:
+            with open(args.plan) as handle:
+                plan = plan_from_json(handle.read())
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read --plan file: {exc}") from exc
+        config = ScenarioConfig.from_dict(dict(plan.base))
+        seed = plan.seed if args.seed is None else args.seed
+    else:
+        fields = {}
+        if args.servers is not None:
+            fields["num_servers"] = args.servers
+        if args.users is not None:
+            fields["num_users"] = args.users
+        if args.models is not None:
+            fields["num_models"] = args.models
+        if args.requests_per_user is not None:
+            fields["requests_per_user"] = args.requests_per_user
+        if args.storage_gb is not None:
+            fields["storage_bytes"] = int(args.storage_gb * GB)
+        if args.case is not None:
+            fields["library_case"] = args.case
+        config = ScenarioConfig(**fields)
+        seed = args.seed if args.seed is not None else 0
+    return build_scenario(config, seed=int(seed)), int(seed)
+
+
+def _serve(args: argparse.Namespace) -> str:
+    """Solve a scenario once and serve it over HTTP (blocks)."""
+    from repro.serve import PlacementService, ResolvePolicy, serve_http
+
+    scenario, seed = _serve_scenario(args)
+    policy = ResolvePolicy(
+        mode=args.policy,
+        full_every=args.full_every,
+        max_changed_fraction=args.max_changed_fraction,
+    )
+    service = PlacementService(
+        scenario, solver=args.solver, engine=args.engine, policy=policy
+    )
+    server = serve_http(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    instance = service.instance
+    # Smoke tests and scripts parse these lines (hence port on its own
+    # line, flushed before the blocking serve loop starts).
+    print(
+        f"serving {args.solver}/{args.engine} "
+        f"M={instance.num_servers} K={instance.num_users} "
+        f"I={instance.num_models} seed={seed} "
+        f"hit_ratio={service.hit_ratio:.6f}",
+        flush=True,
+    )
+    print(f"listening on http://{args.host}:{server.port}", flush=True)
+    print(f"port={server.port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return "server stopped"
+
+
 # ----------------------------------------------------------------------
 # The generic declarative sweep
 # ----------------------------------------------------------------------
@@ -569,6 +642,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(handler=_ablation_replacement)
+
+    p = sub.add_parser(
+        "serve",
+        help="Solve a scenario once and serve it over HTTP (blocks).",
+        description=(
+            "Placement-as-a-service: solve once, keep the tracker state "
+            "resident, and answer /route queries and POST /events "
+            "mutations over stdlib HTTP. The scenario comes from a plan "
+            "file's base config (--plan) or from the direct shape flags."
+        ),
+    )
+    p.add_argument("--plan", help="Experiment-plan JSON; its base config and seed define the scenario.")
+    p.add_argument("--servers", type=int, help="Number of edge servers M.")
+    p.add_argument("--users", type=int, help="Number of users K.")
+    p.add_argument("--models", type=int, help="Number of models I.")
+    p.add_argument("--requests-per-user", type=int, help="Requests per user.")
+    p.add_argument("--storage-gb", type=float, help="Per-server storage in GB.")
+    p.add_argument(
+        "--case",
+        choices=("special", "general"),
+        help="Library case (default: config default).",
+    )
+    p.add_argument("--seed", type=int, help="Scenario seed (overrides the plan's).")
+    p.add_argument("--solver", choices=("gen", "independent"), default="gen")
+    p.add_argument("--engine", choices=("dense", "sparse"), default="sparse")
+    p.add_argument(
+        "--policy", choices=("auto", "patch", "full"), default="auto"
+    )
+    p.add_argument(
+        "--full-every",
+        type=int,
+        default=0,
+        help="Force a full re-solve every Nth event (0 disables).",
+    )
+    p.add_argument(
+        "--max-changed-fraction",
+        type=float,
+        default=0.5,
+        help="Auto mode: full re-solve when more columns change.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port, printed on startup).",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="Log HTTP requests to stderr."
+    )
+    p.set_defaults(handler=_serve)
 
     return parser
 

@@ -81,6 +81,14 @@ class BlockMaskIndex:
             np.ascontiguousarray(member_i64[:, positions])
             for positions in self.model_positions
         ]
+        #: per model, the precomputed delta when *none* of its blocks are
+        #: cached yet (the common case on sparsely filled servers):
+        #: ``member_cols @ block_sizes`` — every model's marginal drops by
+        #: its byte overlap with the freshly cached model.
+        self.model_full_overlap: list = [
+            cols @ sizes
+            for cols, sizes in zip(self.model_member_cols, self.model_block_sizes)
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -183,6 +191,14 @@ class ServerBlockCache:
         mask_row = self.masks[server]
         already = mask_row[positions]
         mask_row[positions] = True
+        if not already.any():
+            # None of the blocks were cached: the delta is the model's
+            # full overlap vector, precomputed on the index (identical
+            # integers to the general path with ``already`` all false).
+            added = int(index.model_sizes[model_index])
+            self.extras[server] -= index.model_full_overlap[model_index]
+            self.used[server] += added
+            return added
         # Sizes of the newly cached blocks, zero where already cached:
         # every model containing one of the new blocks gets exactly that
         # much cheaper on this server.

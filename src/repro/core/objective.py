@@ -180,6 +180,9 @@ class CoverageTracker:
         )
         #: ``(K, I)`` demand mass not yet served, maintained per column.
         self._weighted = instance.demand * ~self.served
+        # Flat alias of the same buffer (never rebound — all updates are
+        # in place), for 1-D gathers against the CSR entry_flat_index.
+        self._wflat = self._weighted.reshape(-1)
         if sparse_state:
             sparse = instance.sparse_feasible
             self._sparse = sparse
@@ -222,20 +225,37 @@ class CoverageTracker:
         ``self.served``)."""
         return self._gains[server].copy()
 
-    def mark_served(self, server: int, model_index: int) -> None:
-        """Record that (server, model) is now cached."""
+    def _refresh_column(self, model_index: int) -> None:
+        """Re-run this engine's exact gain kernel for one column.
+
+        This is the single refresh primitive: :meth:`mark_served` and the
+        demand-delta operations both end here, so a refreshed column is
+        always the product of the same kernel (same accumulation order,
+        same bits) as the initial build.
+        """
         if self._sparse is not None:
-            self._mark_served_sparse(server, model_index)
+            sparse = self._sparse
+            if self._compiled:
+                servers, users = sparse.column_entries(model_index)
+                kernels.sparse_column_gains(
+                    servers,
+                    users,
+                    self._weighted[:, model_index],
+                    self._gains[:, model_index],
+                )
+                return
+            # Same entries in the same order as the (servers, users)
+            # column view, gathered flat (entry_flat_index[j] addresses
+            # weighted[users[j], model_index]) — identical bincount input.
+            num_servers = self.instance.num_servers
+            start = sparse.pair_indptr[model_index * num_servers]
+            stop = sparse.pair_indptr[(model_index + 1) * num_servers]
+            self._gains[:, model_index] = np.bincount(
+                sparse.entry_servers[start:stop],
+                weights=self._wflat[sparse.entry_flat_index()[start:stop]],
+                minlength=num_servers,
+            )
             return
-        feas = self.instance.feasible[server, :, model_index]
-        served_col = self.served[:, model_index]
-        newly = feas > served_col  # feasible and not yet served
-        if not newly.any():
-            return
-        served_col |= feas
-        # Still-unserved entries keep their exact bits; newly served ones
-        # become exactly 0.0 — identical to recomputing demand * ~served.
-        self._weighted[:, model_index][newly] = 0.0
         if self._compiled:
             kernels.dense_column_gains(
                 self.instance.feasible[:, :, model_index],
@@ -251,31 +271,214 @@ class CoverageTracker:
             self._weighted[:, model_index],
         )
 
+    def mark_served(self, server: int, model_index: int) -> None:
+        """Record that (server, model) is now cached."""
+        if self._sparse is not None:
+            self._mark_served_sparse(server, model_index)
+            return
+        feas = self.instance.feasible[server, :, model_index]
+        served_col = self.served[:, model_index]
+        newly = feas > served_col  # feasible and not yet served
+        if not newly.any():
+            return
+        served_col |= feas
+        # Still-unserved entries keep their exact bits; newly served ones
+        # become exactly 0.0 — identical to recomputing demand * ~served.
+        self._weighted[:, model_index][newly] = 0.0
+        self._refresh_column(model_index)
+
     def _mark_served_sparse(self, server: int, model_index: int) -> None:
         """O(column nnz) refresh over the CSR artifact."""
         sparse = self._sparse
-        pair_users = sparse.pair_users(server, model_index)
-        served_col = self.served[:, model_index]
-        if pair_users.size == 0 or served_col[pair_users].all():
+        row = model_index * self.instance.num_servers + server
+        start = sparse.pair_indptr[row]
+        stop = sparse.pair_indptr[row + 1]
+        if start == stop:
             return
-        served_col[pair_users] = True
+        pair_users = sparse.entry_users[start:stop]
+        # No all-served early-out: on the greedy path the chosen pair
+        # always has positive gain (some pair user unserved), so the
+        # check would be pure per-mark overhead; re-marking a fully
+        # served pair just recomputes the same column bits.
+        self.served[pair_users, model_index] = True
         # Same exact zeroing as the dense engine: newly served users'
-        # remaining mass becomes exactly 0.0.
-        self._weighted[pair_users, model_index] = 0.0
-        servers, users = sparse.column_entries(model_index)
-        if self._compiled:
-            kernels.sparse_column_gains(
-                servers,
-                users,
-                self._weighted[:, model_index],
-                self._gains[:, model_index],
+        # remaining mass becomes exactly 0.0 (the flat indices address
+        # exactly weighted[pair_users, model_index]).
+        self._wflat[sparse.entry_flat_index()[start:stop]] = 0.0
+        self._refresh_column(model_index)
+
+    # ------------------------------------------------------------------
+    # Delta operations (the serving layer's warm re-solve). The coverage
+    # masks are demand-independent given the mark sequence — mark_served
+    # marks every feasible user of the pair regardless of current demand —
+    # so demand mutations only require re-syncing the unserved mass and
+    # re-running the exact column kernel on the affected columns.
+
+    def clone(self) -> "CoverageTracker":
+        """An independent copy of the tracker state.
+
+        The instance and CSR artifact are shared (read-only here); the
+        ``served``/``unserved``/gain arrays are copied, so marks on the
+        clone never touch the original. Bitwise, a clone is the tracker.
+        """
+        new = object.__new__(CoverageTracker)
+        new.instance = self.instance
+        new.engine = self.engine
+        new._compiled = self._compiled
+        new._sparse = self._sparse
+        new.served = self.served.copy()
+        new._weighted = self._weighted.copy()
+        new._wflat = new._weighted.reshape(-1)
+        new._gains = self._gains.copy()
+        return new
+
+    def refresh_columns(
+        self, columns: Iterable[int], user: Optional[int] = None
+    ) -> None:
+        """Re-sync columns after ``instance.demand`` changed in place.
+
+        Per column: ``weighted = demand * ~served`` recomputed elementwise
+        (the constructor's expression, restricted to the column — still
+        unserved entries get ``d * 1.0 == d`` bit-exactly, served ones
+        ``d * 0.0 == +0.0``), then the engine's exact column kernel. The
+        result equals a fresh tracker build on the mutated demand followed
+        by replaying this tracker's mark sequence, bit for bit.
+
+        ``user``, when given, promises that only that user's demand row
+        changed: the elementwise resync is restricted to that row (the
+        other rows' recompute would reproduce their bits unchanged).
+        """
+        demand = self.instance.demand
+        if self._sparse is not None and not self._compiled:
+            cols = np.asarray(columns, dtype=np.intp)
+            if cols.size == 0:
+                return
+            # Batched form of the per-column loop below, one kernel run
+            # for the whole column set. Bit-identical: the multiply is
+            # elementwise, and np.bincount accumulates strictly in input
+            # order, so concatenating the columns' CSR entries (each
+            # column's order preserved) yields the same per-bin partial
+            # sums as one bincount per column.
+            if user is None:
+                self._weighted[:, cols] = (
+                    demand[:, cols] * ~self.served[:, cols]
+                )
+            else:
+                self._weighted[user, cols] = (
+                    demand[user, cols] * ~self.served[user, cols]
+                )
+            sparse = self._sparse
+            num_servers = self.instance.num_servers
+            # Each column's entries are one contiguous range of the CSR
+            # arrays (sorted by (model, server, user)), so the per-column
+            # concatenation is a union of ranges — built below as
+            # cumsum-of-ones with jumps at range boundaries, skipping
+            # empty columns.
+            indptr = sparse.pair_indptr
+            starts = indptr[cols * num_servers]
+            lengths = indptr[(cols + 1) * num_servers] - starts
+            total = int(lengths.sum())
+            if total == 0:
+                self._gains[:, cols] = 0.0
+                return
+            # pos[j] walks each column's contiguous entry range in order:
+            # a global arange shifted per column so it starts at the
+            # column's range start (columns with no entries contribute
+            # nothing via the zero-length repeat).
+            offsets = starts - np.cumsum(lengths) + lengths
+            col_ids = np.repeat(np.arange(cols.size), lengths)
+            pos = np.arange(total, dtype=np.int64) + offsets[col_ids]
+            # One bincount over the global (model, server) pair bins: each
+            # pair's entries arrive in the same order as its own bincount
+            # would see them, so the per-bin partial sums are identical.
+            sums = np.bincount(
+                sparse.entry_pair_index()[pos],
+                weights=self._wflat[sparse.entry_flat_index()[pos]],
+                minlength=self.instance.num_models * num_servers,
             )
+            self._gains[:, cols] = sums.reshape(
+                self.instance.num_models, num_servers
+            )[cols].T
             return
-        self._gains[:, model_index] = np.bincount(
-            servers,
-            weights=self._weighted[users, model_index],
-            minlength=self.instance.num_servers,
+        for column in columns:
+            column = int(column)
+            if user is None:
+                np.multiply(
+                    demand[:, column],
+                    ~self.served[:, column],
+                    out=self._weighted[:, column],
+                )
+            else:
+                self._weighted[user, column] = demand[user, column] * (
+                    ~self.served[user, column]
+                )
+            self._refresh_column(column)
+
+    def adopt_columns(self, other: "CoverageTracker", columns) -> None:
+        """Copy the given columns' state verbatim from another tracker.
+
+        Used by the serving layer's trace replay to compose a final
+        tracker from two exactly-maintained halves (unchanged columns
+        from the previous solve, changed columns from the replay clone).
+        Both trackers must share the instance shape and engine.
+        """
+        self.served[:, columns] = other.served[:, columns]
+        self._weighted[:, columns] = other._weighted[:, columns]
+        self._gains[:, columns] = other._gains[:, columns]
+
+    def bulk_mark(self, pairs: Iterable) -> np.ndarray:
+        """Apply many placement marks with one kernel run per column.
+
+        Equivalent to calling :meth:`mark_served` for every ``(server,
+        model)`` pair, but defers the column refresh until all served bits
+        are set — exact, because a column's final state depends only on
+        the *set* of marked pairs, the weighted resync recomputes the
+        constructor's expression bit for bit, and the kernel runs once on
+        that final state (the same run the last sequential mark would
+        do). Returns the touched column indices, sorted.
+        """
+        touched = set()
+        for server, model_index in pairs:
+            model_index = int(model_index)
+            if self._sparse is not None:
+                users = self._sparse.pair_users(int(server), model_index)
+                if users.size:
+                    self.served[users, model_index] = True
+                    touched.add(model_index)
+            else:
+                self.served[:, model_index] |= self.instance.feasible[
+                    int(server), :, model_index
+                ]
+                touched.add(model_index)
+        columns = np.asarray(sorted(touched), dtype=np.intp)
+        self.refresh_columns(columns)
+        return columns
+
+    def update_user(self, user: int, demand_row: np.ndarray) -> np.ndarray:
+        """Set one user's demand row and refresh the affected columns.
+
+        O(sum of changed-column costs): only columns whose demand entry
+        actually changed are touched. Returns those column indices.
+        """
+        changed = self.instance.set_demand_row(user, demand_row)
+        self.refresh_columns(changed, user=user)
+        return changed
+
+    def add_user(self, user: int, demand_row: np.ndarray) -> np.ndarray:
+        """(Re-)activate a user with the given demand row (delta op)."""
+        return self.update_user(user, demand_row)
+
+    def remove_user(self, user: int) -> np.ndarray:
+        """Deactivate a user: zero their demand row (delta op)."""
+        return self.update_user(
+            user, np.zeros(self.instance.num_models, dtype=float)
         )
+
+    def scale_model(self, model_index: int, factor: float) -> np.ndarray:
+        """Scale one model's demand column (popularity drift delta op)."""
+        changed = self.instance.scale_demand_column(model_index, factor)
+        self.refresh_columns(changed)
+        return changed
 
     def mark_server_models(self, server: int, model_indices: Iterable[int]) -> None:
         """Record a whole per-server caching decision at once."""

@@ -253,6 +253,86 @@ class PlacementInstance:
         """An empty placement with this instance's shape."""
         return Placement(np.zeros((self.num_servers, self.num_models), dtype=bool))
 
+    # ------------------------------------------------------------------
+    # In-place mutation (the serving layer's event stream). These are the
+    # single source of mutation arithmetic: both the resident service and
+    # the from-scratch reference path apply events through them, so the
+    # mutated demand/capacity arrays are bit-identical on both sides.
+    #
+    # NOTE: the constructor does NOT copy float/int64 input arrays
+    # (``np.asarray`` shares them). Callers that mutate an instance must
+    # build it from explicit ``.copy()``s or accept shared-array updates.
+
+    def _recompute_total(self, restore: "Optional[Tuple[int, np.ndarray]]") -> None:
+        total = self.demand.sum()
+        if total <= 0:
+            if restore is not None:
+                user, previous = restore
+                self.demand[user] = previous
+            raise PlacementError("total demand must be positive")
+        # Same expression as the constructor: float(demand.sum()).
+        self.total_demand = float(total)
+
+    def set_demand_row(self, user: int, demand_row: np.ndarray) -> np.ndarray:
+        """Replace one user's demand row in place.
+
+        Returns the dense model indices whose column actually changed
+        (entries where old != new) — the columns a maintained gain matrix
+        must refresh. Raises :class:`PlacementError` (leaving the row
+        unchanged) if the update would make total demand non-positive.
+        """
+        if not 0 <= user < self.num_users:
+            raise PlacementError(f"user {user} out of range [0, {self.num_users})")
+        row = np.asarray(demand_row, dtype=float)
+        if row.shape != (self.num_models,):
+            raise PlacementError(
+                f"demand row must have shape ({self.num_models},), got {row.shape}"
+            )
+        if np.any(row < 0):
+            raise PlacementError("demand probabilities must be non-negative")
+        previous = self.demand[user].copy()
+        changed = np.flatnonzero(previous != row)
+        self.demand[user] = row
+        self._recompute_total((user, previous))
+        return changed
+
+    def scale_demand_column(self, model_index: int, factor: float) -> np.ndarray:
+        """Scale one model's demand column by ``factor`` (popularity drift).
+
+        Returns the changed column indices (``[model_index]`` when any
+        entry moved, empty otherwise).
+        """
+        if not 0 <= model_index < self.num_models:
+            raise PlacementError(
+                f"model index {model_index} out of range [0, {self.num_models})"
+            )
+        factor = float(factor)
+        if not np.isfinite(factor) or factor < 0:
+            raise PlacementError("popularity factor must be finite and non-negative")
+        column = self.demand[:, model_index]
+        scaled = column * factor
+        if np.array_equal(column, scaled):
+            return np.empty(0, dtype=np.intp)
+        previous = column.copy()
+        self.demand[:, model_index] = scaled
+        total = self.demand.sum()
+        if total <= 0:
+            self.demand[:, model_index] = previous
+            raise PlacementError("total demand must be positive")
+        self.total_demand = float(total)
+        return np.array([model_index], dtype=np.intp)
+
+    def set_capacity(self, server: int, capacity_bytes: int) -> None:
+        """Set one server's storage capacity ``Q_m`` in bytes."""
+        if not 0 <= server < self.num_servers:
+            raise PlacementError(
+                f"server {server} out of range [0, {self.num_servers})"
+            )
+        capacity = int(capacity_bytes)
+        if capacity < 0:
+            raise PlacementError("capacities must be non-negative")
+        self.capacities[server] = capacity
+
 
 class Placement:
     """The decision matrix ``X`` (servers x models, boolean)."""

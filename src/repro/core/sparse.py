@@ -73,6 +73,8 @@ class SparseFeasibility:
         self.entry_servers = entry_servers
         self._user_view: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
         self._coverage_counts: Optional[np.ndarray] = None
+        self._entry_flat: Optional[np.ndarray] = None
+        self._entry_pair: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -157,6 +159,37 @@ class SparseFeasibility:
         start = self.pair_indptr[model_index * num_servers]
         stop = self.pair_indptr[(model_index + 1) * num_servers]
         return self.entry_servers[start:stop], self.entry_users[start:stop]
+
+    def entry_flat_index(self) -> np.ndarray:
+        """``(nnz,)`` int64 flat index of every entry into a C-contiguous
+        ``(K, I)`` user-by-model matrix (``user * I + model``).
+
+        Lets the objective layer gather per-entry weights from the
+        unserved-mass matrix with a single 1-D take instead of 2-D fancy
+        indexing. Built lazily and cached (the bundle is immutable).
+        """
+        if self._entry_flat is None:
+            num_servers, _, num_models = self.shape
+            models = np.repeat(
+                np.arange(num_models * num_servers, dtype=np.int64) // num_servers,
+                np.diff(self.pair_indptr),
+            )
+            self._entry_flat = (
+                self.entry_users.astype(np.int64) * num_models + models
+            )
+        return self._entry_flat
+
+    def entry_pair_index(self) -> np.ndarray:
+        """``(nnz,)`` int64 pair row (``model * M + server``) of every
+        entry — the expansion of ``pair_indptr``. Lazily cached.
+        """
+        if self._entry_pair is None:
+            num_servers, _, num_models = self.shape
+            self._entry_pair = np.repeat(
+                np.arange(num_models * num_servers, dtype=np.int64),
+                np.diff(self.pair_indptr),
+            )
+        return self._entry_pair
 
     def to_dense(self) -> np.ndarray:
         """Scatter back to the dense ``(M, K, I)`` boolean tensor (exact)."""

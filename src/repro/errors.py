@@ -34,3 +34,8 @@ class InfeasibleError(ReproError, RuntimeError):
 
 class SolverError(ReproError, RuntimeError):
     """A solver failed for an internal reason (state blow-up, bad inputs)."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serving layer was asked something it cannot satisfy
+    (unsupported solver/engine, malformed event, bad route query)."""

@@ -1,0 +1,66 @@
+"""Placement-as-a-service: a long-lived serving layer with warm re-solve.
+
+The batch solvers answer "given this snapshot, what is the best
+placement?"; this package answers it *continuously*. A
+:class:`PlacementService` solves a scenario once, keeps the coverage
+tracker / CSR feasibility state resident, and processes a stream of
+events (user churn, capacity steps, popularity drift) by replaying the
+recorded greedy trace — falling back to a warm full solve whenever
+exactness cannot be proven, under a :class:`ResolvePolicy`. Every answer
+is ``==``-identical to solving the mutated scenario from scratch.
+
+Transports: :class:`ServiceSession` (Python) and :func:`serve_http`
+(stdlib HTTP/JSON, ``python -m repro serve``).
+"""
+
+from repro.serve.events import (
+    EVENT_KINDS,
+    Event,
+    EventTrace,
+    apply_event,
+    generate_event_trace,
+)
+from repro.serve.http import PlacementHTTPServer, serve_http
+from repro.serve.policy import RESOLVE_MODES, ResolvePolicy
+from repro.serve.resolver import (
+    SERVE_ENGINES,
+    SERVE_SOLVERS,
+    ScratchRecord,
+    SolveState,
+    TraceStep,
+    full_solve,
+    patch_solve,
+    recorded_solve,
+    resolve_from_scratch,
+)
+from repro.serve.service import (
+    EventResult,
+    PlacementService,
+    RouteResult,
+    ServiceSession,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "Event",
+    "EventTrace",
+    "EventResult",
+    "PlacementHTTPServer",
+    "PlacementService",
+    "RESOLVE_MODES",
+    "ResolvePolicy",
+    "RouteResult",
+    "SERVE_ENGINES",
+    "SERVE_SOLVERS",
+    "ScratchRecord",
+    "ServiceSession",
+    "SolveState",
+    "TraceStep",
+    "apply_event",
+    "full_solve",
+    "generate_event_trace",
+    "patch_solve",
+    "recorded_solve",
+    "resolve_from_scratch",
+    "serve_http",
+]

@@ -1,0 +1,74 @@
+"""Re-solve policy: when to patch incrementally and when to solve fully.
+
+Both paths produce ``==``-identical answers (the trace replay falls back
+to a full solve whenever it cannot *prove* a step still wins), so the
+policy is purely a latency/staleness trade: patching is ~an order of
+magnitude cheaper per event, but every replayed step loosens the recorded
+bounds a little, making future replays more likely to fall back — a
+periodic full solve re-tightens them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+RESOLVE_MODES = ("auto", "patch", "full")
+
+
+@dataclass(frozen=True)
+class ResolvePolicy:
+    """Decides, per event, between incremental patching and a full solve.
+
+    Parameters
+    ----------
+    mode:
+        ``"auto"`` (default) patches when the change looks small and the
+        staleness budget allows; ``"patch"`` always tries the replay
+        (still falling back when it cannot prove exactness); ``"full"``
+        always re-solves.
+    full_every:
+        In ``"auto"`` mode, force a full solve on every Nth event
+        (re-tightening the trace bounds). ``0`` disables the cadence.
+    max_changed_fraction:
+        In ``"auto"`` mode, events whose changed-column set exceeds this
+        fraction of all models go straight to a full solve (a wide region
+        makes replay acceptance unlikely and region scans expensive).
+
+    Capacity changes always trigger a full solve regardless of mode: the
+    replay's acceptance proofs require the fit masks to evolve exactly as
+    recorded, which a capacity shift breaks globally.
+    """
+
+    mode: str = "auto"
+    full_every: int = 0
+    max_changed_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mode not in RESOLVE_MODES:
+            raise ServeError(
+                f"policy mode must be one of {RESOLVE_MODES}, got {self.mode!r}"
+            )
+        if self.full_every < 0:
+            raise ServeError("full_every must be >= 0")
+        if not 0.0 < self.max_changed_fraction <= 1.0:
+            raise ServeError("max_changed_fraction must be in (0, 1]")
+
+    def choose(
+        self,
+        event_index: int,
+        num_changed_columns: int,
+        num_models: int,
+        capacity_changed: bool,
+    ) -> str:
+        """``"patch"`` or ``"full"`` for the event at ``event_index``."""
+        if capacity_changed or self.mode == "full":
+            return "full"
+        if self.mode == "patch":
+            return "patch"
+        if self.full_every and (event_index + 1) % self.full_every == 0:
+            return "full"
+        if num_changed_columns > self.max_changed_fraction * num_models:
+            return "full"
+        return "patch"

@@ -1,0 +1,134 @@
+"""The pinned serve invariant: patched == from-scratch, bit for bit.
+
+After any seeded event sequence, the service's placement and objective
+must be ``==``-identical (no tolerance) to solving the mutated scenario
+from scratch — across solvers, engines, and resolve policies, including
+capacity changes, and on both the patch and the full-resolve policy
+paths. The grid below is the acceptance gate from the PR issue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    Event,
+    PlacementService,
+    ResolvePolicy,
+    generate_event_trace,
+    resolve_from_scratch,
+)
+
+SOLVERS = ("gen", "independent")
+ENGINES = ("dense", "sparse")
+POLICIES = {
+    "auto": ResolvePolicy(),
+    "patch": ResolvePolicy(mode="patch"),
+    "full": ResolvePolicy(mode="full"),
+    "cadence": ResolvePolicy(full_every=5),
+}
+
+
+def assert_service_matches_scratch(scenario, trace, solver, engine, policy):
+    """Run the trace through the service and the stateless reference."""
+    service = PlacementService(
+        scenario, solver=solver, engine=engine, policy=policy
+    )
+    results = service.process_trace(trace)
+    records = resolve_from_scratch(scenario, trace, solver=solver, engine=engine)
+    assert len(results) == len(records)
+    for step, (result, record) in enumerate(zip(results, records)):
+        assert result.hit_ratio == record.hit_ratio, (
+            f"hit ratio diverged at event {step} ({trace[step].kind}): "
+            f"served {result.hit_ratio!r} != scratch {record.hit_ratio!r} "
+            f"[solver={solver} engine={engine}]"
+        )
+    assert np.array_equal(
+        service.state.placement.matrix, records[-1].placement.matrix
+    ), f"final placement diverged [solver={solver} engine={engine}]"
+    return service
+
+
+class TestPinnedEquivalence:
+    @pytest.mark.parametrize("solver", SOLVERS)
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_mixed_trace_grid(self, serve_scenario, solver, engine, policy_name):
+        trace = generate_event_trace(serve_scenario, 30, seed=17)
+        service = assert_service_matches_scratch(
+            serve_scenario, trace, solver, engine, POLICIES[policy_name]
+        )
+        if policy_name in ("auto", "patch"):
+            # The suite must actually exercise the replay path, not just
+            # prove equality through constant full solves.
+            assert service.counters["replay"] > 0
+
+    @pytest.mark.parametrize("seed", [1, 23, 61])
+    def test_multiple_seeds_sparse_gen(self, serve_scenario, seed):
+        trace = generate_event_trace(serve_scenario, 25, seed=seed)
+        assert_service_matches_scratch(
+            serve_scenario, trace, "gen", "sparse", ResolvePolicy()
+        )
+
+    @pytest.mark.parametrize("solver", SOLVERS)
+    def test_capacity_heavy_trace(self, serve_scenario, solver):
+        """Capacity steps dominate: the full-resolve path under pressure."""
+        trace = generate_event_trace(
+            serve_scenario, 20, seed=37, weights=(0.1, 0.1, 0.7, 0.1)
+        )
+        assert sum(e.kind == "capacity_change" for e in trace) >= 10
+        assert_service_matches_scratch(
+            serve_scenario, trace, solver, "sparse", ResolvePolicy()
+        )
+
+    def test_churn_only_trace_dense_gen(self, serve_scenario):
+        """Arrivals/departures only: the patch path's bread and butter."""
+        trace = generate_event_trace(
+            serve_scenario, 30, seed=41, weights=(0.5, 0.5, 0.0, 0.0)
+        )
+        service = assert_service_matches_scratch(
+            serve_scenario, trace, "gen", "dense", ResolvePolicy(mode="patch")
+        )
+        assert service.counters["full"] == 0  # no capacity events drawn
+
+    def test_popularity_swings(self, serve_scenario):
+        """Hand-built extreme popularity swings (factors far from 1)."""
+        events = [
+            Event(kind="popularity_update", model=0, factor=5.0),
+            Event(kind="popularity_update", model=3, factor=0.01),
+            Event(kind="user_depart", user=2),
+            Event(kind="popularity_update", model=0, factor=0.2),
+            Event(kind="user_arrive", user=2),
+            Event(kind="popularity_update", model=7, factor=3.0),
+        ]
+        for engine in ENGINES:
+            assert_service_matches_scratch(
+                serve_scenario, events, "gen", engine, ResolvePolicy()
+            )
+
+    def test_capacity_then_churn_interleaved(self, serve_scenario):
+        """Capacity shifts between churn events: patches must stay exact
+        against the post-shift remaining-capacity state."""
+        original = np.asarray(serve_scenario.instance.capacities, dtype=np.int64)
+        events = [
+            Event(kind="user_depart", user=1),
+            Event(
+                kind="capacity_change",
+                server=0,
+                capacity_bytes=int(original[0] * 0.6),
+            ),
+            Event(kind="user_depart", user=9),
+            Event(kind="user_arrive", user=1),
+            Event(
+                kind="capacity_change",
+                server=2,
+                capacity_bytes=int(original[2] * 1.4),
+            ),
+            Event(kind="user_arrive", user=9),
+            Event(kind="user_depart", user=30),
+        ]
+        for solver in SOLVERS:
+            assert_service_matches_scratch(
+                serve_scenario, events, solver, "sparse", ResolvePolicy()
+            )

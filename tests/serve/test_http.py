@@ -1,0 +1,154 @@
+"""HTTP/JSON transport: an in-process server driven through urllib."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    PlacementService,
+    generate_event_trace,
+    resolve_from_scratch,
+    serve_http,
+)
+
+
+@pytest.fixture
+def http_server(micro_scenario):
+    """A live server on an ephemeral port; stopped at teardown."""
+    service = PlacementService(micro_scenario, engine="sparse")
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def get_json(server, path, expect_status=200):
+    url = f"http://127.0.0.1:{server.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            assert response.status == expect_status
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        assert error.code == expect_status, error.read().decode("utf-8")
+        return json.loads(error.read().decode("utf-8"))
+
+
+def post_json(server, path, payload, expect_status=200):
+    url = f"http://127.0.0.1:{server.port}{path}"
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == expect_status
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        assert error.code == expect_status, error.read().decode("utf-8")
+        return json.loads(error.read().decode("utf-8"))
+
+
+class TestGet:
+    def test_status(self, http_server):
+        payload = get_json(http_server, "/status")
+        assert payload["solver"] == "gen"
+        assert payload["engine"] == "sparse"
+        assert payload["events_processed"] == 0
+        assert 0.0 < payload["hit_ratio"] <= 1.0
+
+    def test_route_matches_service(self, http_server):
+        service = http_server.service
+        expected = service.route(1, 2).to_dict()
+        assert get_json(http_server, "/route?user=1&model=2") == expected
+
+    def test_route_missing_param_is_400(self, http_server):
+        payload = get_json(http_server, "/route?user=1", expect_status=400)
+        assert "model" in payload["error"]
+
+    def test_route_bad_param_is_400(self, http_server):
+        payload = get_json(
+            http_server, "/route?user=x&model=0", expect_status=400
+        )
+        assert "integer" in payload["error"]
+
+    def test_route_out_of_range_is_400(self, http_server):
+        payload = get_json(
+            http_server, "/route?user=9999&model=0", expect_status=400
+        )
+        assert "out of range" in payload["error"]
+
+    def test_placement(self, http_server):
+        payload = get_json(http_server, "/placement")
+        assert payload == http_server.service.placement_dict()
+
+    def test_unknown_path_is_404(self, http_server):
+        payload = get_json(http_server, "/nope", expect_status=404)
+        assert "unknown path" in payload["error"]
+
+
+class TestPostEvents:
+    def test_events_list_processed_in_order(self, http_server, micro_scenario):
+        events = [
+            {"kind": "user_depart", "user": 3},
+            {"kind": "popularity_update", "model": 1, "factor": 2.0},
+            {"kind": "user_arrive", "user": 3},
+        ]
+        payload = post_json(http_server, "/events", {"events": events})
+        assert payload["processed"] == 3
+        assert [r["event"] for r in payload["results"]] == events
+        assert payload["hit_ratio"] == http_server.service.hit_ratio
+        assert get_json(http_server, "/status")["events_processed"] == 3
+
+    def test_trace_payload_and_scratch_equality(
+        self, http_server, micro_scenario
+    ):
+        trace = generate_event_trace(micro_scenario, 8, seed=19)
+        payload = post_json(
+            http_server, "/events", json.loads(trace.to_json())
+        )
+        assert payload["processed"] == 8
+        records = resolve_from_scratch(
+            micro_scenario, trace, solver="gen", engine="sparse"
+        )
+        assert payload["hit_ratio"] == records[-1].hit_ratio
+
+    def test_bare_list_accepted(self, http_server):
+        payload = post_json(
+            http_server, "/events", [{"kind": "user_depart", "user": 0}]
+        )
+        assert payload["processed"] == 1
+
+    def test_invalid_json_is_400(self, http_server):
+        payload = post_json(
+            http_server, "/events", b"{broken", expect_status=400
+        )
+        assert "invalid JSON" in payload["error"]
+
+    def test_bad_shape_is_400(self, http_server):
+        payload = post_json(
+            http_server, "/events", {"nope": 1}, expect_status=400
+        )
+        assert "events" in payload["error"]
+
+    def test_unknown_kind_is_400(self, http_server):
+        payload = post_json(
+            http_server,
+            "/events",
+            {"events": [{"kind": "meteor_strike"}]},
+            expect_status=400,
+        )
+        assert "unknown event kind" in payload["error"]
+
+    def test_post_unknown_path_is_404(self, http_server):
+        payload = post_json(http_server, "/other", {}, expect_status=404)
+        assert "unknown path" in payload["error"]
