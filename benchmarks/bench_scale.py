@@ -1,0 +1,246 @@
+"""Scale benchmark: chunked scenario build + streaming eval vs K.
+
+Measures the million-user pipeline end to end — chunked ``rng_scheme="v2"``
+scenario build, streaming expected-hit-ratio evaluation, and the
+stratified sampling evaluator — at K = 1e4 / 1e5 / 1e6 users, recording
+wall-clock and peak RSS per tier. Results merge into the ``scale``
+section of ``BENCH_solvers.json``.
+
+Each tier runs in its own subprocess: ``resource.getrusage`` reports the
+*process* high-water mark, so tiers sharing a process would inherit the
+largest tier's RSS. The quick tier (``--quick``, K = 2e4) additionally
+asserts the chunked build compares ``==`` to the unchunked v2 build and
+that peak RSS stays under a fixed cap — the CI scale-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py            # full tiers
+    PYTHONPATH=src python benchmarks/bench_scale.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+FULL_TIERS = (10_000, 100_000, 1_000_000)
+QUICK_TIERS = (20_000,)
+DEFAULT_CHUNK = 65_536
+#: Peak-RSS ceiling asserted by the quick tier (MB). The K=2e4 worker
+#: peaks well under half of this; the headroom absorbs interpreter and
+#: numpy baseline variance across CI runners, not workload growth.
+QUICK_RSS_CAP_MB = 1024.0
+
+
+def peak_rss_mb() -> float:
+    """Process high-water resident set size in MB.
+
+    ``ru_maxrss`` is kilobytes on Linux (bytes on macOS, where this
+    benchmark does not assert caps — the CI job pins ubuntu).
+    """
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        rss_kb /= 1024.0
+    return rss_kb / 1024.0
+
+
+def _bench_config(num_users: int, chunk_size):
+    from repro.sim.config import ScenarioConfig
+
+    base = ScenarioConfig()
+    # Radio resources scale with the population so per-user shares stay
+    # at paper levels — otherwise a million users starve every link and
+    # the feasibility set degenerates to empty (nothing to walk).
+    density_factor = max(1.0, num_users / 100.0)
+    return ScenarioConfig(
+        num_users=num_users,
+        num_servers=10,
+        num_models=20,
+        requests_per_user=8,
+        total_bandwidth_hz=base.total_bandwidth_hz * density_factor,
+        total_power_watts=base.total_power_watts * density_factor,
+        rng_scheme="v2",
+        chunk_size=chunk_size,
+    )
+
+
+def _bench_placement(num_servers: int, num_models: int):
+    """A deterministic placement: model i cached on server i mod M."""
+    import numpy as np
+
+    from repro.core.placement import Placement
+
+    matrix = np.zeros((num_servers, num_models), dtype=bool)
+    matrix[np.arange(num_models) % num_servers, np.arange(num_models)] = True
+    return Placement(matrix)
+
+
+def run_tier(
+    num_users: int, chunk_size: int, assert_identity: bool
+) -> dict:
+    """Build + evaluate one tier in this process; return the result row."""
+    import numpy as np
+
+    from repro.sim.evaluator import EvalSpec, PlacementEvaluator
+    from repro.sim.scenario import build_scenario
+
+    config = _bench_config(num_users, chunk_size)
+    start = time.perf_counter()
+    scenario = build_scenario(config, seed=0)
+    build_s = time.perf_counter() - start
+
+    placement = _bench_placement(config.num_servers, config.num_models)
+    evaluator = PlacementEvaluator(scenario)
+
+    start = time.perf_counter()
+    stream = evaluator.streaming_expected_hit_ratio(placement)
+    stream_s = time.perf_counter() - start
+
+    sample_users = min(num_users, 10_000)
+    spec = EvalSpec(sample_users=sample_users, strata=8, seed=0)
+    start = time.perf_counter()
+    sampled = evaluator.sampled_hit_ratio(placement, spec)
+    sampled_s = time.perf_counter() - start
+
+    row = {
+        "users": num_users,
+        "chunk_size": chunk_size,
+        "nnz": int(scenario.instance.sparse_feasible.nnz),
+        "build_s": build_s,
+        "stream_eval_s": stream_s,
+        "sampled_eval_s": sampled_s,
+        "hit_ratio_exact": stream.hit_ratio,
+        "hit_ratio_sampled": sampled.estimate,
+        "sampled_ci_half_width": sampled.ci_half_width,
+        "sample_size": sampled.sample_size,
+    }
+
+    if assert_identity:
+        reference = build_scenario(
+            config.with_overrides(chunk_size=None), seed=0
+        )
+        assert (
+            scenario.instance.sparse_feasible
+            == reference.instance.sparse_feasible
+        ), "chunked CSR != unchunked CSR"
+        assert np.array_equal(scenario.demand, reference.demand), (
+            "chunked demand != unchunked demand"
+        )
+        exact = evaluator.expected_hit_ratio(placement)
+        assert np.isclose(stream.hit_ratio, exact, rtol=1e-9), (
+            stream.hit_ratio,
+            exact,
+        )
+        row["identity_checked"] = True
+
+    row["peak_rss_mb"] = peak_rss_mb()
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single K=2e4 tier with chunked==unchunked and peak-RSS "
+        "assertions; does not write the results file",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_solvers.json",
+        help="results file the 'scale' section merges into",
+    )
+    parser.add_argument(
+        "--worker",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # internal: run one tier, print JSON
+    )
+    parser.add_argument(
+        "--assert-identity",
+        action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    args = parser.parse_args(argv)
+
+    if args.worker is not None:
+        row = run_tier(args.worker, args.chunk_size, args.assert_identity)
+        print(json.dumps(row))
+        return 0
+
+    tiers = QUICK_TIERS if args.quick else FULL_TIERS
+    rows = []
+    for num_users in tiers:
+        command = [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--worker",
+            str(num_users),
+            "--chunk-size",
+            str(args.chunk_size),
+        ]
+        if args.quick:
+            command.append("--assert-identity")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        print(f"K={num_users:>9,} ...", flush=True)
+        proc = subprocess.run(
+            command, env=env, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            return 1
+        row = json.loads(proc.stdout.strip().splitlines()[-1])
+        rows.append(row)
+        print(
+            f"  build {row['build_s']:.2f}s  stream-eval "
+            f"{row['stream_eval_s']:.2f}s  sampled-eval "
+            f"{row['sampled_eval_s']:.3f}s  peak RSS "
+            f"{row['peak_rss_mb']:.0f} MB  nnz {row['nnz']:,}"
+        )
+
+    if args.quick:
+        row = rows[0]
+        assert row.get("identity_checked"), "worker skipped identity check"
+        assert row["peak_rss_mb"] <= QUICK_RSS_CAP_MB, (
+            f"peak RSS {row['peak_rss_mb']:.0f} MB exceeds the "
+            f"{QUICK_RSS_CAP_MB:.0f} MB smoke cap"
+        )
+        print(
+            f"scale smoke OK: chunked==unchunked, peak RSS "
+            f"{row['peak_rss_mb']:.0f} MB <= {QUICK_RSS_CAP_MB:.0f} MB"
+        )
+        return 0
+
+    results = {}
+    if args.output.exists():
+        try:
+            results = json.loads(args.output.read_text())
+        except (OSError, ValueError):
+            results = {}
+    results["scale"] = {
+        "chunk_size": args.chunk_size,
+        "tiers": rows,
+    }
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote scale section to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

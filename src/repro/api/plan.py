@@ -245,6 +245,8 @@ class ExperimentPlan:
     scale: float = 1.0
     workers: int = 1
     feasibility: str = "sparse"
+    sample_users: Optional[int] = None
+    sample_strata: int = 4
 
     def __post_init__(self) -> None:
         if not self.solvers:
@@ -279,6 +281,22 @@ class ExperimentPlan:
             raise ConfigurationError(
                 f"scale must be in (0, 1], got {self.scale}"
             )
+        if self.evaluation == "sampled" and self.sample_users is None:
+            raise ConfigurationError(
+                "evaluation='sampled' requires sample_users"
+            )
+        if self.sample_users is not None:
+            if self.evaluation != "sampled":
+                raise ConfigurationError(
+                    "sample_users only applies to evaluation='sampled'"
+                )
+            if self.sample_users < 2 * self.sample_strata:
+                raise ConfigurationError(
+                    f"sample_users must be at least 2 per stratum "
+                    f"({2 * self.sample_strata}), got {self.sample_users}"
+                )
+        if self.sample_strata < 1:
+            raise ConfigurationError("sample_strata must be at least 1")
 
     # ------------------------------------------------------------------
     @property
@@ -373,6 +391,11 @@ def plan_to_dict(plan: ExperimentPlan) -> Dict[str, Any]:
         "workers": plan.workers,
         "feasibility": plan.feasibility,
     }
+    # Conditional keys: plans without sampling serialise exactly as
+    # before, so existing artifact-store content hashes stay valid.
+    if plan.sample_users is not None:
+        payload["sample_users"] = plan.sample_users
+        payload["sample_strata"] = plan.sample_strata
     if plan.sweep is not None:
         payload["sweep"] = {
             "axis": plan.sweep.axis,
@@ -431,6 +454,12 @@ def plan_from_dict(
             scale=float(payload.get("scale", 1.0)),
             workers=int(payload.get("workers", 1)),
             feasibility=payload.get("feasibility", "sparse"),
+            sample_users=(
+                None
+                if payload.get("sample_users") is None
+                else int(payload["sample_users"])
+            ),
+            sample_strata=int(payload.get("sample_strata", 4)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed plan payload: {exc}") from exc

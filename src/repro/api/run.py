@@ -182,6 +182,8 @@ def _run_sweep(plan: ExperimentPlan, registry: SolverRegistry) -> ResultSet:
         seed=plan.seed,
         workers=plan.workers,
         feasibility=plan.feasibility,
+        sample_users=plan.sample_users,
+        sample_strata=plan.sample_strata,
     )
     result = runner.run(
         plan.name,

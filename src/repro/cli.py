@@ -245,6 +245,8 @@ _GRID_FLAGS = {
     "requests_per_user": None,
     "storage_gb": None,
     "rng_scheme": None,
+    "chunk_size": None,
+    "sample_users": None,
     "name": None,
     "topologies": 10,
     "seed": 0,
@@ -292,6 +294,38 @@ def _build_cli_plan(args: argparse.Namespace):
         base["storage_bytes"] = int(args.storage_gb * scale * GB)
     if args.rng_scheme is not None:
         base["rng_scheme"] = args.rng_scheme
+    if args.chunk_size is not None or args.sample_users is not None:
+        if args.rng_scheme != "v2":
+            from repro.errors import ConfigurationError
+
+            flag = (
+                "--chunk-size"
+                if args.chunk_size is not None
+                else "--sample-users"
+            )
+            raise ConfigurationError(
+                f"{flag} requires --rng-scheme v2: the v1 per-user draw "
+                "stream cannot be chunked or subsampled without changing "
+                "default results"
+            )
+    if args.chunk_size is not None:
+        base["chunk_size"] = args.chunk_size
+    evaluation = args.evaluation
+    if args.sample_users is not None:
+        if evaluation == "monte_carlo":
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--sample-users conflicts with --evaluation monte_carlo; "
+                "the sampling evaluator estimates the expected hit ratio"
+            )
+        evaluation = "sampled"
+    elif evaluation == "sampled":
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "--evaluation sampled requires --sample-users"
+        )
     algos = [token.strip() for token in args.algos.split(",") if token.strip()]
     if not algos:
         from repro.errors import ConfigurationError
@@ -309,11 +343,12 @@ def _build_cli_plan(args: argparse.Namespace):
         ),
         base=base,
         num_topologies=args.topologies,
-        evaluation=args.evaluation,
+        evaluation=evaluation,
         num_realizations=args.realizations,
         seed=args.seed,
         scale=scale,
         workers=args.workers if args.workers is not None else 1,
+        sample_users=args.sample_users,
     )
 
 
@@ -551,7 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--case", choices=("special", "general"), default=None)
     p.add_argument(
-        "--evaluation", choices=("expected", "monte_carlo"), default=None
+        "--evaluation",
+        choices=("expected", "monte_carlo", "sampled"),
+        default=None,
     )
     p.add_argument("--realizations", type=int, default=None)
     p.add_argument("--scale", type=float, default=None)
@@ -587,6 +624,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario RNG scheme: v1 (seed-identical per-user draws, "
         "default) or v2 (batched numpy draws; statistically equivalent, "
         "different stream layout)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="build scenarios in user blocks of this size (requires "
+        "--rng-scheme v2; bit-identical to the unchunked v2 build, "
+        "temporaries bounded by the chunk)",
+    )
+    p.add_argument(
+        "--sample-users",
+        type=int,
+        default=None,
+        help="score placements from a stratified user sample of this "
+        "size instead of the full population (requires --rng-scheme v2; "
+        "implies --evaluation sampled)",
     )
     p.add_argument("--name", default=None, help="result/plan title")
     p.add_argument(

@@ -116,6 +116,87 @@ class SparseFeasibility:
             entry_servers=np.asarray(servers, dtype=np.int32),
         )
 
+    @classmethod
+    def from_user_blocks(
+        cls,
+        shape: Tuple[int, int, int],
+        blocks: "list[Tuple[np.ndarray, np.ndarray, np.ndarray]]",
+    ) -> "SparseFeasibility":
+        """Merge per-user-block COO fragments into one global bundle.
+
+        ``blocks`` lists ``(models, servers, users)`` triples covering
+        consecutive, disjoint, ascending user ranges, each sorted by
+        ``(model, server, user)`` with *global* user indices — exactly
+        what the chunked feasibility build emits. Because every user of
+        block ``b`` precedes every user of block ``b+1``, scattering each
+        block's entries into its pairs' running offsets reproduces the
+        global ``(model, server, user)`` order without any global sort:
+        the result equals :meth:`from_coo` on the concatenated, fully
+        sorted COO bit for bit, in O(nnz).
+        """
+        num_servers, num_users, num_models = (int(x) for x in shape)
+        rows = num_models * num_servers
+        block_codes = []
+        block_counts = []
+        for models, servers, users in blocks:
+            codes = np.asarray(models, dtype=np.int64) * num_servers + np.asarray(
+                servers, dtype=np.int64
+            )
+            block_codes.append(codes)
+            block_counts.append(np.bincount(codes, minlength=rows))
+        pair_indptr = np.zeros(rows + 1, dtype=np.int64)
+        if block_counts:
+            np.cumsum(np.sum(block_counts, axis=0), out=pair_indptr[1:])
+        nnz = int(pair_indptr[-1])
+        entry_users = np.empty(nnz, dtype=np.int32)
+        entry_servers = np.empty(nnz, dtype=np.int32)
+        offsets = pair_indptr[:-1].copy()
+        for (models, servers, users), codes, counts in zip(
+            blocks, block_codes, block_counts
+        ):
+            if codes.size:
+                # Rank of each entry within its pair's run inside this
+                # (code-sorted) block: position minus the run's start.
+                run_starts = np.concatenate(
+                    ([0], np.cumsum(counts)[:-1])
+                )
+                dest = offsets[codes] + (
+                    np.arange(codes.size, dtype=np.int64) - run_starts[codes]
+                )
+                entry_users[dest] = users
+                entry_servers[dest] = servers
+            offsets += counts
+        return cls(
+            (num_servers, num_users, num_models),
+            pair_indptr=pair_indptr,
+            entry_users=entry_users,
+            entry_servers=entry_servers,
+        )
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Exact structural equality: shape and every index array.
+
+        The chunked-build contract (`chunked == unchunked for any chunk
+        size`) is stated in terms of this comparison.
+        """
+        if not isinstance(other, SparseFeasibility):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.pair_indptr, other.pair_indptr)
+            and np.array_equal(self.entry_users, other.entry_users)
+            and np.array_equal(self.entry_servers, other.entry_servers)
+        )
+
+    #: Identity hash retained deliberately: bundles are used as cache
+    #: keys by identity (e.g. weak memos) and are never deduplicated by
+    #: value in a hash container, so value-equality must not change
+    #: their hashing behaviour.
+    __hash__ = object.__hash__
+
     # ------------------------------------------------------------------
     # Shape and density
     # ------------------------------------------------------------------
@@ -267,6 +348,35 @@ class SparseFeasibility:
         placed_servers, placed_models = np.nonzero(placement_matrix)
         for server, model_index in zip(placed_servers, placed_models):
             served[self.pair_users(int(server), int(model_index)), model_index] = True
+        return served
+
+    def served_matrix_block(
+        self, placement_matrix: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Rows ``start:stop`` of :meth:`served_matrix`, exactly.
+
+        Each pair's user list is sorted ascending, so the users inside
+        ``[start, stop)`` form one contiguous run found by two binary
+        searches — the block walk touches only those entries, keeping the
+        served scratch ``(stop - start, I)`` instead of ``(K, I)``. The
+        streaming evaluator folds these blocks one at a time.
+        """
+        num_servers, num_users, num_models = self.shape
+        if placement_matrix.shape != (num_servers, num_models):
+            raise PlacementError(
+                f"placement shape {placement_matrix.shape} does not match "
+                f"feasibility {(num_servers, num_models)}"
+            )
+        if not 0 <= start <= stop <= num_users:
+            raise PlacementError(
+                f"user block [{start}, {stop}) out of range for K={num_users}"
+            )
+        served = np.zeros((stop - start, num_models), dtype=bool)
+        placed_servers, placed_models = np.nonzero(placement_matrix)
+        for server, model_index in zip(placed_servers, placed_models):
+            users = self.pair_users(int(server), int(model_index))
+            lo, hi = np.searchsorted(users, (start, stop))
+            served[users[lo:hi] - start, model_index] = True
         return served
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

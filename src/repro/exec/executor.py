@@ -212,6 +212,8 @@ class _PayloadBuilder:
             plan.num_realizations,
             library,
             plan.feasibility,
+            plan.sample_users,
+            plan.sample_strata,
         )
 
 

@@ -87,6 +87,45 @@ class ZipfPopularity:
         shared = base[rng.permutation(num_models)]
         return np.tile(shared, (num_users, 1))
 
+    def probabilities_batched_chunked(
+        self,
+        num_users: int,
+        num_models: int,
+        chunk_size: int,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Row-blocked :meth:`probabilities_batched`: same matrix, bounded temporaries.
+
+        ``rng.permuted`` shuffles each row with its own independent
+        Fisher-Yates pass, so permuting a block of rows consumes exactly
+        the stream the full call would have spent on those rows — the
+        result equals :meth:`probabilities_batched` bit for bit for any
+        ``chunk_size``, while the tiled rank scratch stays
+        ``(chunk_size, num_models)`` instead of ``(num_users,
+        num_models)``. With a shared global ranking there is a single
+        permutation draw and nothing to chunk.
+        """
+        if num_users < 1 or num_models < 1:
+            raise ConfigurationError(
+                "num_users and num_models must both be at least 1"
+            )
+        if chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be at least 1, got {chunk_size}"
+            )
+        rng = as_generator(seed)
+        base = self._base_weights(num_models)
+        matrix = np.empty((num_users, num_models))
+        if self.per_user_permutation:
+            for start in range(0, num_users, chunk_size):
+                stop = min(start + chunk_size, num_users)
+                ranks = np.tile(np.arange(num_models), (stop - start, 1))
+                matrix[start:stop] = base[rng.permuted(ranks, axis=1)]
+        else:
+            shared = base[rng.permutation(num_models)]
+            matrix[:] = shared
+        return matrix
+
     def _base_weights(self, num_models: int) -> np.ndarray:
         """Normalised Zipf weights in rank order."""
         ranks = np.arange(1, num_models + 1, dtype=float)

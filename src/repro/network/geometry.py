@@ -33,10 +33,18 @@ class Point:
         return np.array([self.x, self.y], dtype=float)
 
 
-def uniform_points(
+def uniform_coords(
     count: int, side_length: float, seed: SeedLike = None
-) -> List[Point]:
-    """Sample ``count`` points uniformly in a ``side_length``-sided square."""
+) -> np.ndarray:
+    """Sample ``count`` uniform positions as a raw ``(count, 2)`` array.
+
+    Consumes exactly the RNG stream of :func:`uniform_points` (one
+    ``uniform`` draw of shape ``(count, 2)``) but skips the per-point
+    ``Point`` objects — the chunked scenario pipeline's building block,
+    where K Python objects would dominate memory long before the arrays
+    do. ``uniform_points(c, s, seed)[k].as_array()`` equals row ``k`` of
+    ``uniform_coords(c, s, seed)`` bit for bit.
+    """
     if count < 0:
         raise ConfigurationError(f"count must be non-negative, got {count}")
     if side_length <= 0:
@@ -44,8 +52,32 @@ def uniform_points(
             f"side_length must be positive, got {side_length}"
         )
     rng = as_generator(seed)
-    coords = rng.uniform(0.0, side_length, size=(count, 2))
+    return rng.uniform(0.0, side_length, size=(count, 2))
+
+
+def uniform_points(
+    count: int, side_length: float, seed: SeedLike = None
+) -> List[Point]:
+    """Sample ``count`` points uniformly in a ``side_length``-sided square."""
+    coords = uniform_coords(count, side_length, seed)
     return [Point(float(x), float(y)) for x, y in coords]
+
+
+def pairwise_distances_coords(
+    src: np.ndarray, dst: np.ndarray
+) -> np.ndarray:
+    """Distance matrix between raw coordinate arrays.
+
+    The arithmetic core of :func:`pairwise_distances` — identical
+    elementwise subtract/square/sum/sqrt, so object-based and
+    array-based topologies produce bit-identical distances.
+    """
+    src = np.asarray(src, dtype=float)
+    dst = np.asarray(dst, dtype=float)
+    if src.size == 0 or dst.size == 0:
+        return np.zeros((src.shape[0], dst.shape[0]))
+    diff = src[:, None, :] - dst[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
 
 
 def pairwise_distances(
@@ -56,8 +88,7 @@ def pairwise_distances(
         return np.zeros((len(sources), len(targets)))
     src = np.array([p.as_array() for p in sources])
     dst = np.array([p.as_array() for p in targets])
-    diff = src[:, None, :] - dst[None, :, :]
-    return np.sqrt((diff**2).sum(axis=2))
+    return pairwise_distances_coords(src, dst)
 
 
 def coverage_sets(

@@ -52,9 +52,13 @@ class LatencyModel:
             raise TopologyError("model sizes must be positive")
         self.topology = topology
         self.model_bits = 8.0 * sizes
-        self.deadlines = np.stack([u.deadlines_s for u in topology.users])
-        self.inference = np.stack([u.inference_latency_s for u in topology.users])
+        # Batched (K, I) QoS matrices straight from the topology: the
+        # array-backed batch when there is one, otherwise the exact
+        # stacking of the per-user rows (bit-identical values).
+        self.deadlines = topology.deadlines_matrix
+        self.inference = topology.inference_matrix
         self._backhaul_per_bit = self._backhaul_matrix()
+        self._expected_order: Optional[np.ndarray] = None
 
     def _backhaul_matrix(self) -> np.ndarray:
         """Per-bit transfer time between every ordered server pair."""
@@ -124,30 +128,78 @@ class LatencyModel:
         """``I1[m,k,i]``: can server ``m`` serve (k, i) within deadline?"""
         return self.latency(rates) <= self.deadlines[None, :, :]
 
-    def feasibility_sparse(
-        self, rates: Optional[np.ndarray] = None
-    ) -> SparseFeasibility:
-        """``I1`` as a CSR artifact, built one model column at a time.
+    def expected_server_order(self) -> np.ndarray:
+        """Per-user server order under *expected* rates, cached.
 
-        Runs exactly the elementwise arithmetic of :meth:`feasibility`
-        (same multiply/add/compare on the same values, so the nonzero set
-        is bit-identical) but only ever holds one ``(M, K)`` slice, not
-        the ``(M, K, I)`` float latency tensor and its temporaries.
+        ``(M, K)`` — column ``k`` lists the servers sorted by expected
+        per-bit delivery time to user ``k``. Monte-Carlo evaluation
+        passes this as ``server_order_hint`` to
+        :meth:`feasibility_sparse`: fading perturbs per-bit times but
+        rarely upends their ranking, so pre-permuting by the expected
+        order leaves a nearly-sorted array for the stable (timsort,
+        adaptive) argsort — amortising the per-realization sort across
+        all realizations of a topology without changing a bit.
         """
-        per_bit = self.per_bit_delivery(rates)
-        num_servers, num_users = per_bit.shape
-        num_models = self.model_bits.shape[0]
+        if self._expected_order is None:
+            self._expected_order = np.argsort(
+                self.per_bit_delivery(), axis=0, kind="stable"
+            )
+        return self._expected_order
 
-        # For fixed (k, i), T = D_i * per_bit[m, k] + t_{k,i} is monotone
-        # non-decreasing in per_bit (IEEE multiply/add by a positive
-        # constant round monotonically), so along each user's servers
-        # sorted by per_bit the indicator is True on a prefix. A
-        # vectorised binary search finds every (k, i) prefix cut with
-        # O(log M) probes, each probe evaluating the *original*
-        # multiply/add/compare on the original values — bit-identical
-        # membership at O(K·I·log M) instead of O(M·K·I) work.
-        order = np.argsort(per_bit, axis=0, kind="stable")  # (M, K)
+    def _sorted_order(
+        self,
+        per_bit: np.ndarray,
+        server_order_hint: Optional[np.ndarray] = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(order, sorted_pb)``: per-user server order by per-bit time.
+
+        With a hint, the values are pre-permuted by the hinted order and
+        the stable argsort of the (nearly sorted) result is composed
+        back — the composition is an exact sorting permutation of the
+        actual values, and the prefix-cut membership below depends only
+        on values, so any valid order yields the identical CSR (the
+        final ``(model, server, user)`` lexsort canonicalises entry
+        order). Pinned by the bit-identity test suite.
+        """
+        if server_order_hint is None:
+            order = np.argsort(per_bit, axis=0, kind="stable")
+        else:
+            if server_order_hint.shape != per_bit.shape:
+                raise TopologyError(
+                    f"server_order_hint must have shape {per_bit.shape}, "
+                    f"got {server_order_hint.shape}"
+                )
+            hinted = np.take_along_axis(per_bit, server_order_hint, axis=0)
+            order = np.take_along_axis(
+                server_order_hint,
+                np.argsort(hinted, axis=0, kind="stable"),
+                axis=0,
+            )
         sorted_pb = np.take_along_axis(per_bit, order, axis=0)
+        return order, sorted_pb
+
+    def _prefix_cuts(
+        self,
+        sorted_pb: np.ndarray,
+        deadlines: np.ndarray,
+        inference: np.ndarray,
+    ) -> np.ndarray:
+        """Feasible-server counts per (user, model) for one user block.
+
+        For fixed (k, i), T = D_i * per_bit[m, k] + t_{k,i} is monotone
+        non-decreasing in per_bit (IEEE multiply/add by a positive
+        constant round monotonically), so along each user's servers
+        sorted by per_bit the indicator is True on a prefix. A
+        vectorised binary search finds every (k, i) prefix cut with
+        O(log M) probes, each probe evaluating the *original*
+        multiply/add/compare on the original values — bit-identical
+        membership at O(K·I·log M) instead of O(M·K·I) work. Each
+        column's low/high updates are elementwise-independent, so
+        running the search on a user block equals the corresponding
+        slice of a whole-population run exactly.
+        """
+        num_servers = sorted_pb.shape[0]
+        num_users, num_models = deadlines.shape
         user_rows = np.arange(num_users)[:, None]
         bits = self.model_bits[None, :]
         low = np.zeros((num_users, num_models), dtype=np.int64)
@@ -159,14 +211,16 @@ class LatencyModel:
             # Clamp keeps settled entries (cut == M) in bounds; their
             # probe result is discarded by the masks below.
             mid = np.minimum((low + high) >> 1, num_servers - 1)
-            probe = (
-                bits * sorted_pb[mid, user_rows] + self.inference
-                <= self.deadlines
-            )
+            probe = bits * sorted_pb[mid, user_rows] + inference <= deadlines
             low = np.where(probe & active, mid + 1, low)
             high = np.where(probe | ~active, high, mid)
-        counts = low  # (K, I): feasible servers per (user, model)
+        return low  # (K', I): feasible servers per (user, model)
 
+    @staticmethod
+    def _block_coo(
+        counts: np.ndarray, order: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Expand prefix-cut counts to (model, server, user)-sorted COO."""
         users_pair, models_pair = np.nonzero(counts)
         pair_counts = counts[users_pair, models_pair]
         total = int(pair_counts.sum())
@@ -177,9 +231,83 @@ class LatencyModel:
         servers_flat = order[ranks, users_flat]
         # from_coo expects (model, server, user)-sorted entries.
         sort_index = np.lexsort((users_flat, servers_flat, models_flat))
+        return (
+            models_flat[sort_index],
+            servers_flat[sort_index],
+            users_flat[sort_index],
+        )
+
+    def feasibility_sparse(
+        self,
+        rates: Optional[np.ndarray] = None,
+        server_order_hint: Optional[np.ndarray] = None,
+    ) -> SparseFeasibility:
+        """``I1`` as a CSR artifact, built by binary-searched prefix cuts.
+
+        Runs exactly the elementwise arithmetic of :meth:`feasibility`
+        (same multiply/add/compare on the same values, so the nonzero set
+        is bit-identical) but only ever holds ``(M, K)``/``(K, I)``
+        intermediates, not the ``(M, K, I)`` float latency tensor.
+
+        ``server_order_hint`` (optional, ``(M, K)``) seeds the per-user
+        server sort with a previously computed order — see
+        :meth:`expected_server_order`; the CSR is identical with or
+        without it.
+        """
+        per_bit = self.per_bit_delivery(rates)
+        num_servers, num_users = per_bit.shape
+        num_models = self.model_bits.shape[0]
+        order, sorted_pb = self._sorted_order(per_bit, server_order_hint)
+        counts = self._prefix_cuts(sorted_pb, self.deadlines, self.inference)
+        models_flat, servers_flat, users_flat = self._block_coo(counts, order)
         return SparseFeasibility.from_coo(
             (num_servers, num_users, num_models),
-            models=models_flat[sort_index],
-            servers=servers_flat[sort_index],
-            users=users_flat[sort_index],
+            models=models_flat,
+            servers=servers_flat,
+            users=users_flat,
+        )
+
+    def feasibility_sparse_chunked(
+        self,
+        chunk_size: int,
+        rates: Optional[np.ndarray] = None,
+    ) -> SparseFeasibility:
+        """``I1`` as a CSR artifact, assembled in user blocks.
+
+        Identical arithmetic to :meth:`feasibility_sparse`, but the
+        per-user argsort, the binary-searched prefix cuts and the COO
+        expansion all run on ``chunk_size``-user blocks, so the large
+        ``(K, I)``-shaped search temporaries and per-block sort scratch
+        are bounded by the chunk, not by K. The per-block fragments are
+        merged by :meth:`SparseFeasibility.from_user_blocks` into the
+        global ``(model, server, user)`` order without a global sort —
+        the result compares ``==`` to the unchunked build for any chunk
+        size (argsort along axis 0 is column-independent, the binary
+        search is elementwise per (k, i), and within a pair users ascend
+        block by block).
+        """
+        if chunk_size < 1:
+            raise TopologyError(
+                f"chunk_size must be positive, got {chunk_size}"
+            )
+        per_bit = self.per_bit_delivery(rates)
+        num_servers, num_users = per_bit.shape
+        num_models = self.model_bits.shape[0]
+        blocks = []
+        for start in range(0, num_users, chunk_size):
+            stop = min(start + chunk_size, num_users)
+            block_pb = per_bit[:, start:stop]
+            order = np.argsort(block_pb, axis=0, kind="stable")
+            sorted_pb = np.take_along_axis(block_pb, order, axis=0)
+            counts = self._prefix_cuts(
+                sorted_pb,
+                self.deadlines[start:stop],
+                self.inference[start:stop],
+            )
+            models_flat, servers_flat, users_flat = self._block_coo(
+                counts, order
+            )
+            blocks.append((models_flat, servers_flat, users_flat + start))
+        return SparseFeasibility.from_user_blocks(
+            (num_servers, num_users, num_models), blocks
         )

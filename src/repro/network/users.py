@@ -9,6 +9,7 @@ latency ``t_{k,i}``. The deadline covers downloading *plus* inference
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
@@ -85,6 +86,108 @@ class User:
         )
 
 
+def _validate_batch_arrays(
+    deadlines: np.ndarray,
+    inference: np.ndarray,
+    active_probability: float,
+) -> None:
+    """The invariants ``User.__post_init__`` enforces, batch-vectorised."""
+    if deadlines.ndim != 2 or inference.ndim != 2:
+        raise ConfigurationError(
+            "batched deadlines and inference latency must be 2-D"
+        )
+    if deadlines.shape != inference.shape:
+        raise ConfigurationError(
+            "deadlines and inference latency must have equal shape"
+        )
+    if np.any(deadlines <= 0):
+        raise ConfigurationError("deadlines must be positive")
+    if np.any(inference < 0):
+        raise ConfigurationError("inference latency must be non-negative")
+    if not 0 < active_probability <= 1:
+        raise ConfigurationError("active_probability must be in (0, 1]")
+
+
+class UserBatch:
+    """An array-backed user population: no per-user Python objects.
+
+    The chunked/streaming scenario pipeline's counterpart of a
+    ``list[User]``: positions are one ``(K, 2)`` float array, the QoS
+    matrices are the batched ``(K, I)`` draws themselves, and
+    ``active_probability`` is the shared scalar the config prescribes.
+    Every invariant ``User.__post_init__`` enforces is validated once,
+    vectorised over the whole batch.
+
+    :class:`~repro.network.topology.NetworkTopology` consumes a batch
+    directly (distances/allocations/rates from the arrays, bit-identical
+    to the ``Point``/``User`` path); :meth:`user` / :meth:`to_users`
+    materialise frozen :class:`User` views lazily for the per-user
+    consumers (mobility, request simulation) that still want objects.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        deadlines_s: np.ndarray,
+        inference_latency_s: np.ndarray,
+        active_probability: float = 0.5,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float)
+        deadlines = np.asarray(deadlines_s, dtype=float)
+        inference = np.asarray(inference_latency_s, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ConfigurationError("positions must be a (K, 2) array")
+        _validate_batch_arrays(deadlines, inference, active_probability)
+        if positions.shape[0] != deadlines.shape[0]:
+            raise ConfigurationError(
+                "positions must list one entry per batched QoS row"
+            )
+        self.positions = positions
+        self.deadlines_s = deadlines
+        self.inference_latency_s = inference
+        self.active_probability = float(active_probability)
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def num_users(self) -> int:
+        """``K``."""
+        return len(self)
+
+    @property
+    def num_models(self) -> int:
+        """Number of models the QoS matrices cover."""
+        return int(self.deadlines_s.shape[1])
+
+    def user(self, index: int) -> User:
+        """Materialise one frozen :class:`User` view (row views, no copy)."""
+        if not 0 <= index < len(self):
+            raise ConfigurationError(f"user index {index} out of range")
+        user = object.__new__(User)
+        object.__setattr__(user, "user_id", index)
+        object.__setattr__(
+            user,
+            "position",
+            Point(float(self.positions[index, 0]), float(self.positions[index, 1])),
+        )
+        object.__setattr__(user, "deadlines_s", self.deadlines_s[index])
+        object.__setattr__(
+            user, "inference_latency_s", self.inference_latency_s[index]
+        )
+        object.__setattr__(
+            user, "active_probability", self.active_probability
+        )
+        return user
+
+    def to_users(self) -> List[User]:
+        """Materialise the whole population as :class:`User` objects."""
+        return [self.user(index) for index in range(len(self))]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"UserBatch(K={len(self)}, I={self.num_models})"
+
+
 def users_from_batch(
     positions,
     deadlines_s: np.ndarray,
@@ -102,24 +205,11 @@ def users_from_batch(
     """
     deadlines = np.asarray(deadlines_s, dtype=float)
     inference = np.asarray(inference_latency_s, dtype=float)
-    if deadlines.ndim != 2 or inference.ndim != 2:
-        raise ConfigurationError(
-            "batched deadlines and inference latency must be 2-D"
-        )
-    if deadlines.shape != inference.shape:
-        raise ConfigurationError(
-            "deadlines and inference latency must have equal shape"
-        )
+    _validate_batch_arrays(deadlines, inference, active_probability)
     if len(positions) != deadlines.shape[0]:
         raise ConfigurationError(
             "positions must list one entry per batched QoS row"
         )
-    if np.any(deadlines <= 0):
-        raise ConfigurationError("deadlines must be positive")
-    if np.any(inference < 0):
-        raise ConfigurationError("inference latency must be non-negative")
-    if not 0 < active_probability <= 1:
-        raise ConfigurationError("active_probability must be in (0, 1]")
     users = []
     for index, position in enumerate(positions):
         user = object.__new__(User)

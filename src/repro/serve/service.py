@@ -220,6 +220,20 @@ class PlacementService:
             "initial_solve_s": self.initial_solve_s,
         }
 
+    def stats(self) -> Dict[str, int]:
+        """Re-solve counters plus the event total, JSON-ready.
+
+        The focused view of :meth:`status`'s ``counters`` block: how
+        many events were absorbed by trace replay, fell back to a fresh
+        greedy pass, forced a policy-mandated full solve, or touched
+        nothing — the numbers an operator watches to tell whether the
+        incremental path is actually carrying the load.
+        """
+        return {
+            **self.counters,
+            "events_processed": self.events_processed,
+        }
+
     def placement_dict(self) -> Dict[str, object]:
         """JSON-ready placement: model indices per server."""
         placement = self.state.placement
@@ -353,3 +367,7 @@ class ServiceSession:
     def status(self) -> Dict[str, object]:
         """Service summary (see :meth:`PlacementService.status`)."""
         return self.service.status()
+
+    def stats(self) -> Dict[str, int]:
+        """Re-solve counters (see :meth:`PlacementService.stats`)."""
+        return self.service.stats()

@@ -69,6 +69,17 @@ class ScenarioConfig:
     #: but a different stream layout, so it is opt-in and hashed into
     #: plan identities like any other config field.
     rng_scheme: str = "v1"
+    #: User-block size for the chunked/streaming scenario pipeline.
+    #: ``None`` (default) builds the whole population in one pass.
+    #: When set, demand/QoS/geometry/feasibility are assembled in user
+    #: blocks of this many rows and the per-user Python ``User`` objects
+    #: are never materialised (they stay available lazily on the
+    #: topology). Requires ``rng_scheme="v2"``: only the batched draw
+    #: order makes a chunk a row range of the full draw, so the chunked
+    #: build is bit-identical to the unchunked one for *any* chunk size
+    #: — v1's per-user stream could never be split without changing
+    #: results.
+    chunk_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         check_positive("num_servers", self.num_servers)
@@ -115,6 +126,15 @@ class ScenarioConfig:
             raise ConfigurationError(
                 f"rng_scheme must be 'v1' or 'v2', got {self.rng_scheme!r}"
             )
+        if self.chunk_size is not None:
+            check_positive("chunk_size", self.chunk_size)
+            if self.rng_scheme != "v2":
+                raise ConfigurationError(
+                    "chunk_size requires rng_scheme='v2' (only the batched "
+                    "draw order makes user-block chunking bit-identical; "
+                    "the v1 per-user stream cannot be chunked without "
+                    "changing results)"
+                )
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """A copy with the given fields replaced (validated again)."""

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.result import SolverResult
 from repro.sim.config import ScenarioConfig
-from repro.sim.evaluator import PlacementEvaluator
+from repro.sim.evaluator import EvalSpec, PlacementEvaluator
 from repro.sim.scenario import Scenario, build_scenario
 from repro.utils.stats import RunningStats, SeriesStats
 from repro.utils.tables import format_table
@@ -220,11 +220,20 @@ def _score_result(
     evaluation: str,
     num_realizations: int,
     seed: int,
+    sample_users: Optional[int] = None,
+    sample_strata: int = 4,
 ) -> float:
     """Score one solver result (shared by the serial and worker paths)."""
     if evaluation == "expected":
         return result.hit_ratio
     evaluator = PlacementEvaluator(scenario)
+    if evaluation == "sampled":
+        spec = EvalSpec(
+            sample_users=int(sample_users),
+            strata=sample_strata,
+            seed=seed,
+        )
+        return evaluator.sampled_hit_ratio(result.placement, spec).estimate
     outcome = evaluator.monte_carlo_hit_ratio(
         result.placement, num_realizations, seed
     )
@@ -249,6 +258,8 @@ def _run_sweep_slice(
         num_realizations,
         library,
         feasibility,
+        sample_users,
+        sample_strata,
     ) = task
     outcomes: List[Dict[str, Tuple[float, float]]] = []
     for scenario_seed in scenario_seeds:
@@ -259,7 +270,13 @@ def _run_sweep_slice(
         for algo_name, solver in algorithms.items():
             result = solver.solve(scenario.instance)
             score = _score_result(
-                scenario, result, evaluation, num_realizations, scenario_seed
+                scenario,
+                result,
+                evaluation,
+                num_realizations,
+                scenario_seed,
+                sample_users,
+                sample_strata,
             )
             per_algo[algo_name] = (score, result.runtime_s)
         outcomes.append(per_algo)
@@ -280,7 +297,10 @@ class SweepRunner:
         Independent topologies per sweep point (paper: 100).
     evaluation:
         ``"expected"`` scores with the objective ``U(X)``;
-        ``"monte_carlo"`` additionally averages over Rayleigh fading.
+        ``"monte_carlo"`` additionally averages over Rayleigh fading;
+        ``"sampled"`` estimates the expected hit ratio from a
+        stratified user sample (``sample_users`` required) — the
+        million-user sweeps' evaluator.
     num_realizations:
         Fading draws per topology for Monte-Carlo evaluation.
     seed:
@@ -307,6 +327,11 @@ class SweepRunner:
         otherwise — the pre-backend behaviour. Any backend yields
         bit-identical series (seeds are parent-fixed, folding replays
         the serial order).
+    sample_users:
+        Stratified sample size per topology for ``evaluation="sampled"``
+        (sampling seed = the cell's scenario seed, so runs reproduce).
+    sample_strata:
+        Number of contiguous index strata for the sampled evaluator.
     """
 
     def __init__(
@@ -321,14 +346,23 @@ class SweepRunner:
         workers: int = 1,
         feasibility: str = "sparse",
         backend: Optional[Any] = None,
+        sample_users: Optional[int] = None,
+        sample_strata: int = 4,
     ) -> None:
         if not algorithms:
             raise ValueError("at least one algorithm is required")
         if num_topologies < 1:
             raise ValueError("num_topologies must be at least 1")
-        if evaluation not in ("expected", "monte_carlo"):
+        if evaluation not in ("expected", "monte_carlo", "sampled"):
             raise ValueError(
-                f"evaluation must be 'expected' or 'monte_carlo', got {evaluation!r}"
+                f"evaluation must be 'expected', 'monte_carlo' or "
+                f"'sampled', got {evaluation!r}"
+            )
+        if evaluation == "sampled" and sample_users is None:
+            raise ValueError("evaluation='sampled' requires sample_users")
+        if sample_users is not None and evaluation != "sampled":
+            raise ValueError(
+                "sample_users only applies to evaluation='sampled'"
             )
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -346,6 +380,8 @@ class SweepRunner:
         self.workers = workers
         self.feasibility = feasibility
         self.backend = backend
+        self.sample_users = sample_users
+        self.sample_strata = sample_strata
 
     # ------------------------------------------------------------------
     def _build_tasks(
@@ -388,6 +424,8 @@ class SweepRunner:
                             self.num_realizations,
                             library,
                             self.feasibility,
+                            self.sample_users,
+                            self.sample_strata,
                         ),
                     )
                 )

@@ -31,11 +31,11 @@ from repro.models.library import ModelLibrary
 from repro.models.popularity import ZipfPopularity
 from repro.network.backhaul import Backhaul
 from repro.network.channel import ChannelModel
-from repro.network.geometry import uniform_points
+from repro.network.geometry import uniform_coords, uniform_points
 from repro.network.latency import LatencyModel
 from repro.network.servers import EdgeServer
 from repro.network.topology import NetworkTopology
-from repro.network.users import User, users_from_batch
+from repro.network.users import User, UserBatch, users_from_batch
 from repro.sim.config import ScenarioConfig
 from repro.utils.rng import RngFactory
 
@@ -107,6 +107,8 @@ def _build_demand(config: ScenarioConfig, rng) -> np.ndarray:
     distributions in batched passes (:func:`_build_demand_v2`).
     """
     if config.rng_scheme == "v2":
+        if config.chunk_size is not None:
+            return _build_demand_v2_chunked(config, rng, config.chunk_size)
         return _build_demand_v2(config, rng)
     popularity = ZipfPopularity(
         exponent=config.zipf_exponent,
@@ -157,6 +159,47 @@ def _build_demand_v2(config: ScenarioConfig, rng) -> np.ndarray:
     return demand
 
 
+def _build_demand_v2_chunked(
+    config: ScenarioConfig, rng, chunk_size: int
+) -> np.ndarray:
+    """Row-blocked :func:`_build_demand_v2` — identical matrix.
+
+    Per-row draws (``rng.permuted`` shuffles, row gathers) consume the
+    stream row by row, so running them over user blocks reproduces the
+    full-matrix calls exactly — provided the *stage* order is preserved:
+    the unchunked build draws ALL popularity rows first, then ALL subset
+    permutations, so the chunked build loops users within each stage
+    rather than interleaving stages per chunk. The tiled shuffle scratch
+    shrinks from ``(K, I)`` to ``(chunk_size, I)``; the compact Zipf rows
+    must persist between the stages, which is the price of bit-identity.
+    """
+    popularity = ZipfPopularity(
+        exponent=config.zipf_exponent,
+        per_user_permutation=config.per_user_popularity,
+    )
+    if config.requests_per_user is None:
+        return popularity.probabilities_batched_chunked(
+            config.num_users, config.num_models, chunk_size, rng
+        )
+    subset_size = config.requests_per_user
+    compact = popularity.probabilities_batched_chunked(
+        config.num_users, subset_size, chunk_size, rng
+    )
+    demand = np.zeros((config.num_users, config.num_models))
+    for start in range(0, config.num_users, chunk_size):
+        stop = min(start + chunk_size, config.num_users)
+        shuffled = rng.permuted(
+            np.tile(np.arange(config.num_models), (stop - start, 1)), axis=1
+        )
+        np.put_along_axis(
+            demand[start:stop],
+            shuffled[:, :subset_size],
+            compact[start:stop],
+            axis=1,
+        )
+    return demand
+
+
 def build_scenario(
     config: ScenarioConfig = ScenarioConfig(),
     seed: Optional[int] = 0,
@@ -184,6 +227,12 @@ def build_scenario(
     if feasibility not in ("sparse", "dense"):
         raise ValueError(
             f"feasibility must be 'sparse' or 'dense', got {feasibility!r}"
+        )
+    chunked = config.rng_scheme == "v2" and config.chunk_size is not None
+    if chunked and feasibility != "sparse":
+        raise ValueError(
+            "chunk_size requires feasibility='sparse': the dense tensor "
+            "the chunked build exists to avoid cannot be materialised"
         )
     factory = RngFactory(seed)
     if library is None:
@@ -218,14 +267,27 @@ def build_scenario(
         for index, position in enumerate(server_positions)
     ]
 
-    user_positions = uniform_points(
-        config.num_users, config.area_side_m, factory.child("user-positions")
-    )
+    user_pos_rng = factory.child("user-positions")
+    if chunked:
+        # Raw coordinates only: same uniform draw as uniform_points,
+        # without K Point objects. The batch path below keeps the whole
+        # population array-backed end to end.
+        user_coords = uniform_coords(
+            config.num_users, config.area_side_m, user_pos_rng
+        )
+        user_positions = None
+    else:
+        user_positions = uniform_points(
+            config.num_users, config.area_side_m, user_pos_rng
+        )
     qos_rng = factory.child("qos")
     if config.rng_scheme == "v2":
         # Batched QoS: one (K, I) uniform block per quantity instead of
         # two K-long loops of per-user draws, then the batch-validated
-        # constructor. Same distributions, different stream layout.
+        # constructor. Same distributions, different stream layout. The
+        # matrices are retained by the topology either way, so the
+        # chunked build draws them whole too (chunking the draw would
+        # be stream-identical but save nothing).
         deadlines = qos_rng.uniform(
             config.deadline_range_s[0],
             config.deadline_range_s[1],
@@ -236,9 +298,14 @@ def build_scenario(
             config.inference_latency_range_s[1],
             size=(config.num_users, config.num_models),
         )
-        users = users_from_batch(
-            user_positions, deadlines, inference, config.active_probability
-        )
+        if chunked:
+            users: "UserBatch | list[User]" = UserBatch(
+                user_coords, deadlines, inference, config.active_probability
+            )
+        else:
+            users = users_from_batch(
+                user_positions, deadlines, inference, config.active_probability
+            )
     else:
         users = [
             User(
@@ -270,7 +337,9 @@ def build_scenario(
         library=library,
         demand=demand,
         feasible=(
-            latency_model.feasibility_sparse()
+            latency_model.feasibility_sparse_chunked(config.chunk_size)
+            if chunked
+            else latency_model.feasibility_sparse()
             if feasibility == "sparse"
             else latency_model.feasibility()
         ),

@@ -54,6 +54,57 @@ class RunningStats:
         for value in values:
             self.add(value)
 
+    def add_array(self, values: np.ndarray) -> None:
+        """Fold a whole array of observations in one vectorised pass.
+
+        Computes the chunk's moments with numpy reductions and merges
+        them via Chan's parallel update — the streaming evaluator folds
+        one chunk of per-user hit masses at a time this way. Count, min
+        and max are exact; mean and variance agree with sequential
+        :meth:`add` calls to floating-point accuracy (the summation
+        order differs, so final ulps may differ — same caveat the sparse
+        objective engine documents).
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size == 0:
+            return
+        if np.isnan(values).any():
+            raise ValueError("cannot accumulate NaN")
+        count = int(values.size)
+        mean = float(values.mean())
+        m2 = float(((values - mean) ** 2).sum())
+        self._merge_moments(count, mean, m2, float(values.min()), float(values.max()))
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator's observations into this one.
+
+        Chan's parallel-merge update: the result summarises the union of
+        both sample sets (exact count/min/max; mean/variance to
+        floating-point accuracy).
+        """
+        if other._count == 0:
+            return
+        self._merge_moments(
+            other._count, other._mean, other._m2, other._min, other._max
+        )
+
+    def _merge_moments(
+        self, count: int, mean: float, m2: float, minimum: float, maximum: float
+    ) -> None:
+        self._pinned_std = None
+        if self._count == 0:
+            self._count = count
+            self._mean = mean
+            self._m2 = m2
+        else:
+            total = self._count + count
+            delta = mean - self._mean
+            self._mean += delta * count / total
+            self._m2 += m2 + delta * delta * self._count * count / total
+            self._count = total
+        self._min = min(self._min, minimum)
+        self._max = max(self._max, maximum)
+
     @property
     def count(self) -> int:
         """Number of observations accumulated."""

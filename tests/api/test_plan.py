@@ -315,3 +315,46 @@ class TestPlanBuilderIndex:
             plan = builder()
             assert plan.kind == expected_kinds[name], name
             assert plan_from_json(plan_to_json(plan)) == plan, name
+
+
+class TestSamplingFields:
+    """sample_users / sample_strata: validation and hash-stable serialisation."""
+
+    def test_round_trip(self):
+        plan = _sweep_plan(
+            evaluation="sampled", sample_users=24, sample_strata=3
+        )
+        rebuilt = plan_from_dict(plan_to_dict(plan))
+        assert rebuilt.sample_users == 24
+        assert rebuilt.sample_strata == 3
+        assert rebuilt.evaluation == "sampled"
+
+    def test_unsampled_plans_omit_the_keys(self):
+        # Plans without sampling must serialise without the new keys so
+        # existing artifact-store content hashes stay valid.
+        payload = plan_to_dict(_sweep_plan())
+        assert "sample_users" not in payload
+        assert "sample_strata" not in payload
+        rebuilt = plan_from_dict(payload)
+        assert rebuilt.sample_users is None
+        assert rebuilt.sample_strata == 4
+
+    def test_sampled_requires_sample_users(self):
+        with pytest.raises(ConfigurationError, match="sample_users"):
+            _sweep_plan(evaluation="sampled")
+
+    def test_sample_users_requires_sampled_evaluation(self):
+        with pytest.raises(ConfigurationError, match="sampled"):
+            _sweep_plan(evaluation="expected", sample_users=16)
+
+    def test_sample_users_floor(self):
+        with pytest.raises(ConfigurationError, match="at least"):
+            _sweep_plan(
+                evaluation="sampled", sample_users=5, sample_strata=4
+            )
+
+    def test_strata_floor(self):
+        with pytest.raises(ConfigurationError, match="sample_strata"):
+            _sweep_plan(
+                evaluation="sampled", sample_users=16, sample_strata=0
+            )

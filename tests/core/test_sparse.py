@@ -160,3 +160,101 @@ class TestSparsePrimaryInstance:
             PlacementInstance(
                 tiny_library, np.full((2, 3), 0.1), sparse, [10, 10]
             )
+
+
+def _coo_from_dense(dense):
+    models, servers, users = np.nonzero(dense.transpose(2, 0, 1))
+    return models, servers, users
+
+
+class TestFromUserBlocks:
+    @pytest.mark.parametrize("block_size", [1, 3, 7, 40, 64])
+    def test_matches_from_coo(self, block_size):
+        rng = np.random.default_rng(11)
+        dense = random_dense(rng, 5, 40, 9)
+        reference = SparseFeasibility.from_dense(dense)
+        blocks = []
+        for start in range(0, 40, block_size):
+            stop = min(start + block_size, 40)
+            models, servers, users = _coo_from_dense(dense[:, start:stop, :])
+            blocks.append((models, servers, users + start))
+        merged = SparseFeasibility.from_user_blocks(dense.shape, blocks)
+        assert merged == reference
+
+    def test_empty_blocks_allowed(self):
+        dense = np.zeros((2, 6, 3), dtype=bool)
+        dense[1, 4, 2] = True
+        blocks = []
+        for start in range(0, 6, 2):
+            sub = dense[:, start : start + 2, :]
+            models, servers, users = _coo_from_dense(sub)
+            blocks.append((models, servers, users + start))
+        merged = SparseFeasibility.from_user_blocks(dense.shape, blocks)
+        assert merged == SparseFeasibility.from_dense(dense)
+
+    def test_no_blocks_is_empty(self):
+        merged = SparseFeasibility.from_user_blocks((2, 3, 4), [])
+        assert merged.nnz == 0
+        assert merged == SparseFeasibility.from_dense(
+            np.zeros((2, 3, 4), dtype=bool)
+        )
+
+
+class TestEquality:
+    def test_equal_and_unequal(self):
+        rng = np.random.default_rng(12)
+        dense = random_dense(rng, 3, 10, 5)
+        a = SparseFeasibility.from_dense(dense)
+        b = SparseFeasibility.from_dense(dense.copy())
+        assert a == b and not (a != b)
+        flipped = dense.copy()
+        flipped[0, 0, 0] = not flipped[0, 0, 0]
+        assert a != SparseFeasibility.from_dense(flipped)
+
+    def test_shape_mismatch_unequal(self):
+        a = SparseFeasibility.from_dense(np.zeros((2, 3, 4), dtype=bool))
+        b = SparseFeasibility.from_dense(np.zeros((2, 4, 3), dtype=bool))
+        assert a != b
+
+    def test_other_types_not_implemented(self):
+        sparse = SparseFeasibility.from_dense(np.zeros((1, 2, 3), dtype=bool))
+        assert sparse != "not a bundle"
+        assert (sparse == 42) is False
+
+    def test_hash_is_identity(self):
+        dense = np.zeros((1, 2, 3), dtype=bool)
+        a = SparseFeasibility.from_dense(dense)
+        b = SparseFeasibility.from_dense(dense)
+        assert a == b
+        assert hash(a) != hash(b) or a is b  # identity hashing retained
+        assert len({id(a), id(b)}) == 2
+
+
+class TestServedMatrixBlock:
+    def test_blocks_tile_served_matrix(self):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            dense = random_dense(rng)
+            sparse = SparseFeasibility.from_dense(dense)
+            placement = rng.random((dense.shape[0], dense.shape[2])) < 0.3
+            full = sparse.served_matrix(placement)
+            for block_size in (1, 3, dense.shape[1]):
+                for start in range(0, dense.shape[1], block_size):
+                    stop = min(start + block_size, dense.shape[1])
+                    block = sparse.served_matrix_block(placement, start, stop)
+                    assert (block == full[start:stop]).all()
+
+    def test_range_validation(self):
+        sparse = SparseFeasibility.from_dense(np.ones((2, 5, 3), dtype=bool))
+        placement = np.ones((2, 3), dtype=bool)
+        with pytest.raises(PlacementError, match="out of range"):
+            sparse.served_matrix_block(placement, -1, 2)
+        with pytest.raises(PlacementError, match="out of range"):
+            sparse.served_matrix_block(placement, 0, 6)
+        with pytest.raises(PlacementError, match="out of range"):
+            sparse.served_matrix_block(placement, 4, 2)
+
+    def test_shape_validation(self):
+        sparse = SparseFeasibility.from_dense(np.ones((2, 5, 3), dtype=bool))
+        with pytest.raises(PlacementError):
+            sparse.served_matrix_block(np.ones((2, 4), dtype=bool), 0, 5)

@@ -131,3 +131,62 @@ class TestValidation:
             LatencyModel(topo, np.array([0.0]))
         with pytest.raises(TopologyError):
             LatencyModel(topo, np.ones((1, 1)))
+
+
+class TestChunkedAndHintedSparse:
+    """feasibility_sparse_chunked and the server-order hint are exact."""
+
+    def _scenario_latency(self, seed=3):
+        from repro.sim.config import ScenarioConfig
+        from repro.sim.scenario import build_scenario
+
+        scenario = build_scenario(
+            ScenarioConfig(num_servers=5, num_users=23, num_models=9), seed=seed
+        )
+        return scenario
+
+    @pytest.mark.parametrize("chunk_size", [1, 4, 23, 22, 64])
+    def test_chunked_equals_unchunked(self, chunk_size):
+        latency = self._scenario_latency().latency_model
+        assert latency.feasibility_sparse_chunked(
+            chunk_size
+        ) == latency.feasibility_sparse()
+
+    def test_chunked_with_faded_rates(self):
+        scenario = self._scenario_latency(seed=5)
+        latency = scenario.latency_model
+        rng = np.random.default_rng(1)
+        rates = scenario.topology.expected_rates * rng.exponential(
+            size=scenario.topology.expected_rates.shape
+        )
+        assert latency.feasibility_sparse_chunked(
+            7, rates
+        ) == latency.feasibility_sparse(rates)
+
+    def test_chunk_size_must_be_positive(self):
+        latency = self._scenario_latency().latency_model
+        with pytest.raises(TopologyError, match="chunk_size"):
+            latency.feasibility_sparse_chunked(0)
+
+    def test_hint_does_not_change_a_bit(self):
+        scenario = self._scenario_latency(seed=7)
+        latency = scenario.latency_model
+        hint = latency.expected_server_order()
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            rates = scenario.topology.expected_rates * rng.exponential(
+                size=scenario.topology.expected_rates.shape
+            )
+            assert latency.feasibility_sparse(
+                rates, server_order_hint=hint
+            ) == latency.feasibility_sparse(rates)
+
+    def test_hint_shape_validated(self):
+        latency = self._scenario_latency().latency_model
+        bad = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(TopologyError, match="server_order_hint"):
+            latency.feasibility_sparse(server_order_hint=bad)
+
+    def test_expected_order_is_cached(self):
+        latency = self._scenario_latency().latency_model
+        assert latency.expected_server_order() is latency.expected_server_order()

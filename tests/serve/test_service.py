@@ -203,3 +203,34 @@ class TestServiceSession:
         trace = generate_event_trace(micro_scenario, 6, seed=13)
         results = session.apply(trace)
         assert [r.event for r in results] == list(trace.events)
+
+
+class TestStatsCounters:
+    def test_stats_reflect_processed_events(self, serve_scenario):
+        session = ServiceSession(serve_scenario, engine="sparse")
+        stats = session.stats()
+        assert stats == {
+            "replay": 0,
+            "fallback": 0,
+            "full": 0,
+            "noop": 0,
+            "events_processed": 0,
+        }
+        results = session.apply(generate_event_trace(serve_scenario, 8, seed=3))
+        stats = session.stats()
+        assert stats["events_processed"] == len(results)
+        mode_total = (
+            stats["replay"] + stats["fallback"] + stats["full"] + stats["noop"]
+        )
+        assert mode_total == len(results)
+        for result in results:
+            assert result.mode in ("replay", "fallback", "full", "noop")
+
+    def test_stats_matches_status_counters(self, serve_scenario):
+        service = PlacementService(serve_scenario)
+        service.process(Event(kind="user_depart", user=1))
+        status = service.status()
+        stats = service.stats()
+        assert stats["events_processed"] == status["events_processed"] == 1
+        for key, value in status["counters"].items():
+            assert stats[key] == value

@@ -566,3 +566,84 @@ class TestFaultFlags:
         assert "backend remote" in out
         assert "1 retried" in out
         assert "1 worker(s) lost" in out
+
+
+class TestScaleFlags:
+    """--chunk-size / --sample-users are v2-only domain errors otherwise."""
+
+    BASE = [
+        "sweep",
+        "--axis",
+        "capacity",
+        "--points",
+        "0.2",
+        "--algos",
+        "gen",
+        "--topologies",
+        "1",
+    ]
+
+    def test_chunk_size_without_v2_exits_2(self, capsys):
+        assert main(self.BASE + ["--chunk-size", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "--chunk-size requires --rng-scheme v2" in err
+
+    def test_chunk_size_with_explicit_v1_exits_2(self, capsys):
+        assert (
+            main(self.BASE + ["--rng-scheme", "v1", "--chunk-size", "8"]) == 2
+        )
+        assert "requires --rng-scheme v2" in capsys.readouterr().err
+
+    def test_sample_users_without_v2_exits_2(self, capsys):
+        assert main(self.BASE + ["--sample-users", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "--sample-users requires --rng-scheme v2" in err
+
+    def test_sampled_evaluation_requires_sample_users(self, capsys):
+        assert (
+            main(
+                self.BASE
+                + ["--rng-scheme", "v2", "--evaluation", "sampled"]
+            )
+            == 2
+        )
+        assert "requires --sample-users" in capsys.readouterr().err
+
+    def test_sample_users_conflicts_with_monte_carlo(self, capsys):
+        assert (
+            main(
+                self.BASE
+                + [
+                    "--rng-scheme",
+                    "v2",
+                    "--sample-users",
+                    "10",
+                    "--evaluation",
+                    "monte_carlo",
+                ]
+            )
+            == 2
+        )
+        assert "conflicts with --evaluation monte_carlo" in (
+            capsys.readouterr().err
+        )
+
+    def test_chunked_sampled_sweep_runs(self, capsys):
+        assert (
+            main(
+                self.BASE
+                + [
+                    "--rng-scheme",
+                    "v2",
+                    "--users",
+                    "60",
+                    "--chunk-size",
+                    "16",
+                    "--sample-users",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Gen" in out

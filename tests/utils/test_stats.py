@@ -178,3 +178,89 @@ class TestFromMoments:
             SeriesStats.from_moments(
                 [1.0, 2.0], [0.5, 0.5], [0.0, 0.0], [1, 1], minima=[0.5]
             )
+
+
+class TestVectorisedFolds:
+    """add_array / merge agree with sequential add calls."""
+
+    def test_add_array_matches_sequential(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=137)
+        sequential = RunningStats()
+        sequential.extend(values)
+        vectorised = RunningStats()
+        vectorised.add_array(values[:50])
+        vectorised.add_array(values[50:51])
+        vectorised.add_array(values[51:])
+        assert vectorised.count == sequential.count
+        assert vectorised.minimum == sequential.minimum
+        assert vectorised.maximum == sequential.maximum
+        assert math.isclose(vectorised.mean, sequential.mean, rel_tol=1e-12)
+        assert math.isclose(
+            vectorised.variance, sequential.variance, rel_tol=1e-9
+        )
+
+    def test_add_array_accepts_2d_and_empty(self):
+        stats = RunningStats()
+        stats.add_array(np.empty((0,)))
+        assert stats.count == 0
+        stats.add_array(np.arange(6.0).reshape(2, 3))
+        assert stats.count == 6
+        assert stats.minimum == 0.0 and stats.maximum == 5.0
+
+    def test_add_array_rejects_nan(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError, match="NaN"):
+            stats.add_array(np.array([1.0, float("nan")]))
+        assert stats.count == 0
+
+    def test_merge_matches_union(self):
+        rng = np.random.default_rng(1)
+        left_values = rng.normal(size=40)
+        right_values = rng.normal(loc=3.0, size=25)
+        left = RunningStats()
+        left.extend(left_values)
+        right = RunningStats()
+        right.extend(right_values)
+        left.merge(right)
+        union = RunningStats()
+        union.extend(np.concatenate([left_values, right_values]))
+        assert left.count == union.count
+        assert left.minimum == union.minimum
+        assert left.maximum == union.maximum
+        assert math.isclose(left.mean, union.mean, rel_tol=1e-12)
+        assert math.isclose(left.variance, union.variance, rel_tol=1e-9)
+
+    def test_merge_empty_is_noop_and_into_empty_copies(self):
+        filled = RunningStats()
+        filled.extend([1.0, 2.0, 3.0])
+        before = (filled.count, filled.mean, filled.variance)
+        filled.merge(RunningStats())
+        assert (filled.count, filled.mean, filled.variance) == before
+        empty = RunningStats()
+        empty.merge(filled)
+        assert empty.count == filled.count
+        assert empty.mean == filled.mean
+        assert empty.variance == filled.variance
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(min_value=1, max_value=61),
+    )
+    def test_chunked_fold_property(self, values, chunk):
+        array = np.asarray(values)
+        sequential = RunningStats()
+        sequential.extend(array)
+        chunked = RunningStats()
+        for start in range(0, array.size, chunk):
+            chunked.add_array(array[start : start + chunk])
+        assert chunked.count == sequential.count
+        assert chunked.minimum == sequential.minimum
+        assert chunked.maximum == sequential.maximum
+        assert math.isclose(
+            chunked.mean, sequential.mean, rel_tol=1e-9, abs_tol=1e-9
+        )
