@@ -39,7 +39,11 @@ Covered:
   rebuild-and-re-solve path on the same events (every post-event hit
   ratio asserted ``==`` and the final placement byte-identical; target
   >= 10x median per-event speedup at paper scale), plus sustained
-  ``route`` query throughput.
+  ``route`` query throughput;
+* the observability layer — the sweep bench path with ``repro.obs``
+  off vs fully on (metrics + tracing): identical series asserted,
+  enabled slowdown measured (target <= 5%) and the disabled no-op cost
+  bounded from the recorded span count (target <= 1%).
 
 Usage::
 
@@ -104,6 +108,15 @@ SERVE_TARGET_SPEEDUP = 10.0
 #: rebuild is cheap, so the resident service only has to clearly beat
 #: it, not hit the paper-scale ratio.
 SERVE_QUICK_TARGET_SPEEDUP = 2.0
+
+#: Observability acceptance: the estimated cost of the disabled
+#: instrumentation (no-op span calls) on the sweep bench path, as a
+#: fraction of its wall clock.
+OBS_DISABLED_OVERHEAD_TARGET = 0.01
+
+#: Observability acceptance: measured slowdown of the same sweep with
+#: metrics + tracing fully enabled.
+OBS_ENABLED_OVERHEAD_TARGET = 0.05
 
 
 def timeit(fn, min_time: float, min_reps: int = 3):
@@ -898,6 +911,126 @@ def serve_benchmarks(quick: bool):
     }
 
 
+def obs_benchmarks(quick: bool):
+    """Observability overhead on the sweep bench path.
+
+    Three numbers, all against the same serial sparse sweep:
+
+    * ``disabled_overhead_est`` — instrumentation cost when obs is off.
+      The disabled path cannot be timed differentially (the no-op calls
+      are ~ns against a multi-second sweep, far below run-to-run noise),
+      so it is *bounded* instead: the span count an enabled run records
+      (== the number of ``obs.span`` calls the disabled run makes)
+      times the measured cost of one disabled span call.
+    * ``enabled_overhead`` — measured: best-of-N enabled wall clock over
+      best-of-N disabled, minus one (clamped at 0; at quick scale the
+      difference sits inside scheduler noise).
+    * series identity: the enabled and disabled sweeps must produce
+      ``==``-identical hit-ratio series — telemetry never touches a
+      result byte.
+    """
+    from repro import obs
+
+    params = dict(
+        num_servers=8 if quick else 30,
+        num_users=60 if quick else 200,
+        num_models=30 if quick else 120,
+        requests_per_user=12 if quick else 30,
+        deadline_range_s=(1.0, 2.0),
+        library_case="special",
+    )
+    num_topologies = 2 if quick else 4
+    points = [0.15, 0.3]
+    passes = 2 if quick else 3
+    base = ScenarioConfig(**params)
+    algos = {
+        "Gen": TrimCachingGen(engine="sparse"),
+        "Independent": IndependentCaching(engine="sparse"),
+    }
+
+    def run_sweep():
+        runner = SweepRunner(
+            base,
+            algos,
+            num_topologies=num_topologies,
+            seed=7,
+            feasibility="sparse",
+            workers=1,
+        )
+        start = time.perf_counter()
+        result = runner.run(
+            "obs bench sweep",
+            "Q (GB)",
+            points,
+            lambda cfg, q: cfg.with_overrides(storage_bytes=int(q * GB)),
+        )
+        return time.perf_counter() - start, result
+
+    obs.disable()
+    disabled_s, disabled_result = float("inf"), None
+    for _ in range(passes):
+        elapsed, disabled_result = run_sweep()
+        disabled_s = min(disabled_s, elapsed)
+    enabled_s, enabled_result, span_count, metric_count = (
+        float("inf"),
+        None,
+        0,
+        0,
+    )
+    for _ in range(passes):
+        obs.enable(metrics=True, tracing=True)
+        elapsed, enabled_result = run_sweep()
+        enabled_s = min(enabled_s, elapsed)
+        span_count = len(obs.tracer().spans)
+        metric_count = len(obs.registry())
+        obs.disable()
+    identical = all(
+        (disabled_result.series[a].means == enabled_result.series[a].means).all()
+        and (disabled_result.series[a].stds == enabled_result.series[a].stds).all()
+        for a in disabled_result.series
+    )
+    assert identical, "obs on/off sweeps diverge — telemetry leaked into results"
+
+    # Cost of one disabled obs.span call (attribute check + shared noop).
+    reps = 200_000
+    probe = obs.span  # obs is disabled here
+    start = time.perf_counter()
+    for _ in range(reps):
+        with probe("obs.bench.noop"):
+            pass
+    noop_span_s = (time.perf_counter() - start) / reps
+    disabled_overhead = span_count * noop_span_s / disabled_s
+    enabled_overhead = max(0.0, enabled_s / disabled_s - 1.0)
+    print(
+        f"obs (M={params['num_servers']}, K={params['num_users']}, "
+        f"I={params['num_models']}, {num_topologies} topologies x "
+        f"{len(points)} points): disabled {disabled_s:.2f} s, enabled "
+        f"{enabled_s:.2f} s ({enabled_overhead:.2%} overhead, target "
+        f"{OBS_ENABLED_OVERHEAD_TARGET:.0%}); {span_count} spans, noop "
+        f"span {noop_span_s * 1e9:.0f} ns -> disabled est "
+        f"{disabled_overhead:.4%} (target {OBS_DISABLED_OVERHEAD_TARGET:.0%}); "
+        f"identical series"
+    )
+    return {
+        "sweep_overhead": {
+            "instance": {**params, "seed": 7},
+            "num_topologies": num_topologies,
+            "sweep_points_gb": points,
+            "passes": passes,
+            "disabled_s": disabled_s,
+            "enabled_s": enabled_s,
+            "enabled_overhead": enabled_overhead,
+            "enabled_overhead_target": OBS_ENABLED_OVERHEAD_TARGET,
+            "spans_recorded": span_count,
+            "metric_series": metric_count,
+            "noop_span_ns": noop_span_s * 1e9,
+            "disabled_overhead_est": disabled_overhead,
+            "disabled_overhead_target": OBS_DISABLED_OVERHEAD_TARGET,
+            "series_identical": identical,
+        }
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -931,6 +1064,7 @@ def main(argv=None) -> int:
         "kernels",
         "scenario",
         "serve",
+        "obs",
     )
     parser.add_argument(
         "--section",
@@ -971,6 +1105,7 @@ def main(argv=None) -> int:
         "kernels": lambda: kernels_benchmarks(args.quick, args.workers),
         "scenario": lambda: scenario_benchmarks(args.quick),
         "serve": lambda: serve_benchmarks(args.quick),
+        "obs": lambda: obs_benchmarks(args.quick),
     }
 
     # A partial --section run merges into the existing file so the
@@ -994,6 +1129,8 @@ def main(argv=None) -> int:
             "spec_kernel_target_speedup": SPEC_KERNEL_TARGET_SPEEDUP,
             "scenario_target_speedup": SCENARIO_TARGET_SPEEDUP,
             "serve_target_speedup": SERVE_TARGET_SPEEDUP,
+            "obs_disabled_overhead_target": OBS_DISABLED_OVERHEAD_TARGET,
+            "obs_enabled_overhead_target": OBS_ENABLED_OVERHEAD_TARGET,
         }
     )
     for name in section_names:
@@ -1052,6 +1189,25 @@ def main(argv=None) -> int:
         checks.append(
             (f"Serve acceptance ({serve_key}): {serve_speedup:.1f}x median "
              "per-event patch vs stateless re-solve", serve_target, met)
+        )
+
+    if "obs" in selected:
+        entry = results["obs"]["sweep_overhead"]
+        met = (
+            entry["disabled_overhead_est"] <= OBS_DISABLED_OVERHEAD_TARGET
+            and entry["enabled_overhead"] <= OBS_ENABLED_OVERHEAD_TARGET
+        )
+        if not args.quick:
+            # Quick instances are too small to damp scheduler noise in
+            # the enabled/disabled ratio; the pinned flag is full-scale.
+            results["meta"]["obs_target_met"] = bool(met)
+        print(
+            f"Obs acceptance: disabled est "
+            f"{entry['disabled_overhead_est']:.4%} "
+            f"(target <= {OBS_DISABLED_OVERHEAD_TARGET:.0%}), enabled "
+            f"{entry['enabled_overhead']:.2%} "
+            f"(target <= {OBS_ENABLED_OVERHEAD_TARGET:.0%}) — "
+            f"{'MET' if met else 'NOT MET'}"
         )
 
     args.output.write_text(json.dumps(results, indent=2) + "\n")

@@ -155,8 +155,19 @@ def _serve_scenario(args: argparse.Namespace):
 
 def _serve(args: argparse.Namespace) -> str:
     """Solve a scenario once and serve it over HTTP (blocks)."""
+    from repro import obs
+    from repro.errors import ConfigurationError
     from repro.serve import PlacementService, ResolvePolicy, serve_http
 
+    if args.no_obs and args.trace is not None:
+        raise ConfigurationError(
+            "--trace requires observability; drop --no-obs"
+        )
+    # An operator-facing server defaults metrics ON (that is what the
+    # /metrics endpoint is for); the library PlacementService enables
+    # nothing on its own. --trace additionally collects spans.
+    if not args.no_obs:
+        obs.enable(metrics=True, tracing=args.trace is not None)
     scenario, seed = _serve_scenario(args)
     policy = ResolvePolicy(
         mode=args.policy,
@@ -187,6 +198,9 @@ def _serve(args: argparse.Namespace) -> str:
         pass
     finally:
         server.server_close()
+        if args.trace is not None:
+            obs.export.write_chrome_trace(obs.tracer(), args.trace)
+            print(f"(chrome trace written to {args.trace})", flush=True)
     return "server stopped"
 
 
@@ -352,6 +366,20 @@ def _build_cli_plan(args: argparse.Namespace):
     )
 
 
+def _phase_footer() -> str:
+    """The per-phase wall-clock breakdown (empty unless tracing ran)."""
+    from repro import obs
+
+    if not obs.tracing_enabled():
+        return ""
+    from repro.exec.executor import ExecutionReport
+
+    report = ExecutionReport(backend="serial", cache="off")
+    report.record_phases()
+    table = report.phase_breakdown()
+    return "\n" + table if table else ""
+
+
 def _generic_sweep(args: argparse.Namespace) -> str:
     from repro.api import plan_from_json, plan_to_json, run_plan
     from repro.errors import ConfigurationError
@@ -419,19 +447,42 @@ def _generic_sweep(args: argparse.Namespace) -> str:
 
         store = ArtifactStore(args.cache_dir)
 
+    # Observability is an execution concern, not a grid concern: --obs,
+    # --trace and --profile compose with --plan. Results are identical
+    # with or without (the pinned obs identity tests enforce it).
+    want_tracing = args.obs or args.trace is not None or bool(args.profile)
+    if want_tracing or args.obs:
+        from repro import obs
+
+        obs.enable(metrics=args.obs, tracing=want_tracing)
+
     def execute() -> str:
         if backend is None and store is None:
-            return _render_result(run_plan(plan), args)
+            output = _render_result(run_plan(plan), args)
+            return output + _phase_footer()
         from repro.exec import execute_plan
 
         result, report = execute_plan(plan, backend=backend, store=store)
-        return _render_result(result, args) + f"\n({report.summary()})"
+        output = _render_result(result, args) + f"\n({report.summary()})"
+        breakdown = report.phase_breakdown()
+        if breakdown:
+            output += "\n" + breakdown
+        return output
+
+    def finish(output: str) -> str:
+        if args.trace is not None:
+            from repro import obs
+
+            obs.export.write_chrome_trace(obs.tracer(), args.trace)
+            output += f"\n(chrome trace written to {args.trace})"
+        return output
 
     if not args.profile:
-        return execute()
+        return finish(execute())
     # --profile wraps the whole execution (plan run + rendering) in
-    # cProfile and appends the hottest 25 cumulative entries. Results
-    # are unaffected; only wall time pays the tracing overhead.
+    # cProfile and appends the hottest 25 cumulative entries; with a
+    # path argument the raw profile is also dumped in pstats format.
+    # Results are unaffected; only wall time pays the tracing overhead.
     import cProfile
     import io
     import pstats
@@ -445,7 +496,11 @@ def _generic_sweep(args: argparse.Namespace) -> str:
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(25)
-    return output + "\n" + stream.getvalue().rstrip()
+    output += "\n" + stream.getvalue().rstrip()
+    if isinstance(args.profile, str):
+        profiler.dump_stats(args.profile)
+        output += f"\n(pstats profile written to {args.profile})"
+    return finish(output)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -649,9 +704,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--profile",
-        action="store_true",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
         help="run under cProfile and append the top-25 cumulative-time "
-        "entries to the output",
+        "entries (plus the per-phase span breakdown) to the output; "
+        "with PATH, also dump the raw profile in pstats format",
+    )
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the repro.obs metrics registry and tracer for this "
+        "run and append the per-phase wall-clock breakdown (results "
+        "are bit-identical either way)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run to PATH "
+        "(load in Perfetto / chrome://tracing); implies tracing on",
     )
     add_sweep_outputs(p)
     # add_common gave --topologies/--seed concrete defaults; sweep needs
@@ -744,6 +817,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--verbose", action="store_true", help="Log HTTP requests to stderr."
+    )
+    p.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="Do not enable repro.obs metrics (GET /metrics then serves "
+        "only the service-derived counters).",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="Collect spans and write a Chrome trace-event JSON to PATH "
+        "on shutdown (conflicts with --no-obs).",
     )
     p.set_defaults(handler=_serve)
 

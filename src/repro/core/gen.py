@@ -86,11 +86,16 @@ class TrimCachingGen:
     # ------------------------------------------------------------------
     def solve(self, instance: PlacementInstance) -> SolverResult:
         """Run the greedy until no (positive-gain) pair fits."""
+        from repro import obs
+
         start = time.perf_counter()
-        if self.accelerated:
-            placement, steps, tracker = self._solve_vectorized(instance)
-        else:
-            placement, steps, tracker = self._solve_naive(instance)
+        with obs.span("solve.gen", engine=self.engine) as handle:
+            if self.accelerated:
+                placement, steps, tracker = self._solve_vectorized(instance)
+            else:
+                placement, steps, tracker = self._solve_naive(instance)
+            handle["steps"] = steps
+        obs.count("repro_solver_greedy_steps_total", steps)
         if self.fill_zero_gain:
             self._fill_remaining(instance, placement)
             from repro.core.objective import hit_ratio  # local: import cycle
@@ -155,8 +160,11 @@ class TrimCachingGen:
     def _solve_vectorized(
         self, instance: PlacementInstance
     ) -> Tuple[Placement, int, CoverageTracker]:
+        from repro import obs
+
         placement = instance.new_placement()
-        tracker = CoverageTracker(instance, engine=self.engine)
+        with obs.span("solve.gen.tracker_init", engine=self.engine):
+            tracker = CoverageTracker(instance, engine=self.engine)
         cache = ServerBlockCache(instance.block_index, instance.num_servers)
         gains = tracker.gain_matrix_view()
         extras = cache.extras
@@ -179,24 +187,29 @@ class TrimCachingGen:
         # tie-break); the numpy fallback IS the inline expression below.
         use_kernels = kernels.prefers_compiled(self.engine)
         steps = 0
-        while True:
-            if use_kernels:
-                flat = kernels.masked_argmax(gains, extras, remaining, fit, value)
-            else:
-                np.less_equal(extras, remaining, out=fit)
-                value.fill(-1.0)
-                np.copyto(value, gains, where=fit)
-                flat = int(np.argmax(value))
-            server, model_index = divmod(flat, num_models)
-            if (
-                gains[server, model_index] <= 0.0
-                or extras[server, model_index] > remaining[server, 0]
-            ):
-                break
-            placed[server, model_index] = True
-            remaining[server, 0] -= cache.add(server, model_index)
-            tracker.mark_served(server, model_index)
-            steps += 1
+        # One span brackets the whole loop (a per-step span would cost
+        # more than the masked argmax it measures).
+        with obs.span("solve.gen.greedy"):
+            while True:
+                if use_kernels:
+                    flat = kernels.masked_argmax(
+                        gains, extras, remaining, fit, value
+                    )
+                else:
+                    np.less_equal(extras, remaining, out=fit)
+                    value.fill(-1.0)
+                    np.copyto(value, gains, where=fit)
+                    flat = int(np.argmax(value))
+                server, model_index = divmod(flat, num_models)
+                if (
+                    gains[server, model_index] <= 0.0
+                    or extras[server, model_index] > remaining[server, 0]
+                ):
+                    break
+                placed[server, model_index] = True
+                remaining[server, 0] -= cache.add(server, model_index)
+                tracker.mark_served(server, model_index)
+                steps += 1
         return placement, steps, tracker
 
     # ------------------------------------------------------------------

@@ -535,6 +535,8 @@ class TrimCachingSpec:
     # ------------------------------------------------------------------
     def solve(self, instance: PlacementInstance) -> SolverResult:
         """Run Algorithm 1 over all servers."""
+        from repro import obs
+
         start = time.perf_counter()
         if not instance.library.specific_blocks_are_exclusive():
             raise SolverError(
@@ -558,21 +560,24 @@ class TrimCachingSpec:
         if self.workers is not None and self.workers > 1:
             pool = ThreadPoolExecutor(max_workers=self.workers)
         try:
-            for server in self._ordered_servers(instance):
-                utilities = tracker.server_gains(server)  # u(m,i), I2 applied
-                mass, selection = self.solve_subproblem(
-                    instance,
-                    server,
-                    utilities,
-                    combos,
-                    context,
-                    pool=pool,
-                    tables=tables,
-                )
-                for model_index in selection:
-                    placement.add(server, model_index)
-                tracker.mark_server_models(server, selection)
-                per_server_mass.append(mass)
+            with obs.span(
+                "solve.spec", backend=self.backend, engine=self.engine
+            ):
+                for server in self._ordered_servers(instance):
+                    utilities = tracker.server_gains(server)  # I2 applied
+                    mass, selection = self.solve_subproblem(
+                        instance,
+                        server,
+                        utilities,
+                        combos,
+                        context,
+                        pool=pool,
+                        tables=tables,
+                    )
+                    for model_index in selection:
+                        placement.add(server, model_index)
+                    tracker.mark_server_models(server, selection)
+                    per_server_mass.append(mass)
         finally:
             if pool is not None:
                 pool.shutdown(wait=True)
@@ -586,6 +591,8 @@ class TrimCachingSpec:
         if tables is not None:
             stats["knapsack_cache_hits"] = tables.hits
             stats["knapsack_cache_misses"] = tables.misses
+            obs.count("repro_solver_knapsack_dp_hits_total", tables.hits)
+            obs.count("repro_solver_knapsack_dp_misses_total", tables.misses)
         return SolverResult(
             placement=placement,
             hit_ratio=hit_ratio(instance, placement),

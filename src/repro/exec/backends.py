@@ -53,6 +53,7 @@ except ImportError:  # pragma: no cover
         return cls
 
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.exec.faults import FaultStats, TaskError, TaskFailure, WorkerLost
 from repro.exec.retry import NO_RETRY, RetryPolicy
@@ -90,6 +91,15 @@ class SerialBackend:
         self, fn: Callable[[Any], Any], payloads: Sequence[Any]
     ) -> Iterator[Any]:
         """Lazily evaluate ``fn`` over ``payloads`` in order."""
+        if obs.active():
+            wrapped = obs.wrap_task(fn)
+
+            def _instrumented() -> Iterator[Any]:
+                for payload in payloads:
+                    submitted = time.time()
+                    yield obs.absorb(wrapped(payload), submitted)
+
+            return _instrumented()
         return (fn(payload) for payload in payloads)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -175,10 +185,15 @@ class ProcessBackend:
         retry = self.retry
         if not payloads:
             return iter(())
+        # When observability is on, workers run the wrapped fn (per-task
+        # envelopes) and the parent absorbs each envelope at yield time;
+        # when off, fn is untouched and the path below is unchanged.
+        fn = obs.wrap_task(fn)
         chunks: List[Tuple[int, List[Any]]] = [
             (start, payloads[start : start + self.chunksize])
             for start in range(0, len(payloads), self.chunksize)
         ]
+        submitted_at: List[float] = [0.0] * len(chunks)
 
         def _iterate() -> Iterator[Any]:
             pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -187,12 +202,15 @@ class ProcessBackend:
             def submit(to_pool, indices) -> None:
                 for ci in indices:
                     start, chunk = chunks[ci]
+                    submitted_at[ci] = time.time()
                     futures[ci] = to_pool.submit(
                         _run_indexed_chunk, fn, start, chunk
                     )
 
             def degrade(ci: int) -> List[Any]:
                 stats.degraded += len(chunks[ci][1])
+                obs.instant("exec.degraded", task=chunks[ci][0])
+                submitted_at[ci] = time.time()
                 try:
                     return _run_indexed_chunk(fn, chunks[ci][0], chunks[ci][1])
                 except TaskFailure as failure:
@@ -219,6 +237,7 @@ class ProcessBackend:
                         except BrokenExecutor as exc:
                             start = chunks[ci][0]
                             stats.workers_lost += 1
+                            obs.instant("exec.worker_lost", task=start)
                             attempts[ci] += 1
                             if retry.exhausted(attempts[ci]):
                                 if retry.degrade_in_process:
@@ -231,6 +250,11 @@ class ProcessBackend:
                                     task_index=start,
                                 ) from exc
                             stats.retries += 1
+                            obs.instant(
+                                "exec.retry",
+                                task=start,
+                                attempt=attempts[ci],
+                            )
                             time.sleep(retry.delay_s(attempts[ci], start))
                             # The breakage poisoned every unfinished
                             # future: recreate the pool and re-dispatch.
@@ -246,7 +270,8 @@ class ProcessBackend:
                                     if _future_is_broken(futures[index])
                                 ],
                             )
-                    yield from results
+                    for value in results:
+                        yield obs.absorb(value, submitted_at[ci])
             finally:
                 # Normal completion, an error, or the consumer
                 # abandoning the iteration (GeneratorExit): cancel
@@ -339,6 +364,7 @@ class LocalClusterBackend:
         retry = self.retry
         if not payloads:
             return iter(())
+        fn = obs.wrap_task(fn)
         shards = min(self.shards, len(payloads))
         assignment = [index % shards for index in range(len(payloads))]
         indexed_shards: List[List[Tuple[int, Any]]] = [
@@ -346,6 +372,7 @@ class LocalClusterBackend:
         ]
         for index, payload in enumerate(payloads):
             indexed_shards[assignment[index]].append((index, payload))
+        submitted_at: List[float] = [0.0] * shards
 
         def _iterate() -> Iterator[Any]:
             pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -354,6 +381,7 @@ class LocalClusterBackend:
 
             def submit(to_pool, shard_ids) -> None:
                 for shard in shard_ids:
+                    submitted_at[shard] = time.time()
                     futures[shard] = to_pool.submit(
                         _run_indexed_shard, fn, indexed_shards[shard]
                     )
@@ -373,10 +401,15 @@ class LocalClusterBackend:
                     except BrokenExecutor as exc:
                         first_index = indexed_shards[shard][0][0]
                         stats.workers_lost += 1
+                        obs.instant("exec.worker_lost", task=first_index)
                         attempts += 1
                         if retry.exhausted(attempts):
                             if retry.degrade_in_process:
                                 stats.degraded += len(indexed_shards[shard])
+                                obs.instant(
+                                    "exec.degraded", task=first_index
+                                )
+                                submitted_at[shard] = time.time()
                                 try:
                                     resolved[shard] = _run_indexed_shard(
                                         fn, indexed_shards[shard]
@@ -396,6 +429,9 @@ class LocalClusterBackend:
                                 task_index=first_index,
                             ) from exc
                         stats.retries += 1
+                        obs.instant(
+                            "exec.retry", task=first_index, attempt=attempts
+                        )
                         time.sleep(retry.delay_s(attempts, first_index))
                         pool.shutdown(wait=False, cancel_futures=True)
                         pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -415,7 +451,9 @@ class LocalClusterBackend:
                 for index in range(len(payloads)):
                     shard = assignment[index]
                     resolve(shard)
-                    yield resolved[shard][cursors[shard]]
+                    yield obs.absorb(
+                        resolved[shard][cursors[shard]], submitted_at[shard]
+                    )
                     cursors[shard] += 1
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)

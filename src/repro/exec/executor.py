@@ -39,9 +39,10 @@ outweighs resume granularity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.api.plan import ExperimentPlan, resolve_axis
 from repro.api.registry import SOLVERS, SolverRegistry
 from repro.exec.backends import ExecutionBackend, ProcessBackend, SerialBackend
@@ -89,6 +90,39 @@ class ExecutionReport:
     workers_lost: int = 0
     re_dispatched: int = 0
     degraded: int = 0
+    # Per-phase wall-clock breakdown from repro.obs span totals — empty
+    # unless tracing was enabled for the run. Like the fault counters,
+    # purely descriptive: never part of result bytes or cache keys.
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def record_phases(self) -> None:
+        """Capture the live tracer's span totals (no-op if tracing off)."""
+        if obs.tracing_enabled():
+            self.phases = obs.phase_totals()
+
+    def phase_breakdown(self) -> str:
+        """Multi-line ``name  seconds  count`` table (empty if no phases).
+
+        Durations are summed across processes and threads: a phase that
+        ran on N workers in parallel can report up to N× the elapsed
+        time — the table says where the work went, not how long the
+        wall waited.
+        """
+        if not self.phases:
+            return ""
+        width = max(len(name) for name in self.phases)
+        rows = [
+            f"  {name.ljust(width)}  {entry['seconds']:>10.3f}s"
+            f"  ×{int(entry['count'])}"
+            for name, entry in sorted(
+                self.phases.items(),
+                key=lambda item: item[1]["seconds"],
+                reverse=True,
+            )
+        ]
+        return "phases (seconds are summed across workers):\n" + "\n".join(
+            rows
+        )
 
     def record_faults(self, stats) -> None:
         """Fold a backend's :class:`~repro.exec.faults.FaultStats` in."""
@@ -236,13 +270,15 @@ def _execute_sweep_grid(
     from repro.api.run import ResultSet
     from repro.sim.runner import _run_sweep_slice
 
-    tasks = build_sweep_tasks(plan)
+    with obs.span("exec.grid_build"):
+        tasks = build_sweep_tasks(plan)
     outcomes: Dict[str, List[Dict[str, Tuple[float, float]]]] = {}
     if store is not None and key is not None:
-        for task in tasks:
-            cached = store.load_task(key, task.task_id)
-            if cached is not None:
-                outcomes[task.task_id] = cached
+        with obs.span("exec.cache_probe"):
+            for task in tasks:
+                cached = store.load_task(key, task.task_id)
+                if cached is not None:
+                    outcomes[task.task_id] = cached
     report.tasks_total = len(tasks)
     report.tasks_cached = len(outcomes)
     report.cache = (
@@ -253,17 +289,18 @@ def _execute_sweep_grid(
 
     pending = [task for task in tasks if task.task_id not in outcomes]
     builder = _PayloadBuilder(plan, registry)
-    results = backend.map(
-        _run_sweep_slice, [builder.payload(task) for task in pending]
-    )
+    with obs.span("exec.payload_build"):
+        payloads = [builder.payload(task) for task in pending]
+    results = backend.map(_run_sweep_slice, payloads)
     # Persist every outcome as soon as the backend yields it: a killed
     # run leaves its completed prefix behind for the next run to resume.
     try:
-        for task, outcome in zip(pending, results):
-            if store is not None and key is not None:
-                store.save_task(key, task.task_id, outcome)
-            outcomes[task.task_id] = outcome
-            report.tasks_run += 1
+        with obs.span("exec.run", backend=backend.name):
+            for task, outcome in zip(pending, results):
+                if store is not None and key is not None:
+                    store.save_task(key, task.task_id, outcome)
+                outcomes[task.task_id] = outcome
+                report.tasks_run += 1
     finally:
         # Whatever happened — success, a typed ExecutionError, a kill —
         # fold the backend's fault counters into the report so partial
@@ -276,12 +313,13 @@ def _execute_sweep_grid(
     algorithms = plan.labels(registry)
     series = {algo: SeriesStats(x_values) for algo in algorithms}
     runtimes = {algo: SeriesStats(x_values) for algo in algorithms}
-    for task in tasks:
-        for per_algo in outcomes[task.task_id]:
-            for algo in algorithms:
-                score, runtime_s = per_algo[algo]
-                series[algo].add(task.x_index, score)
-                runtimes[algo].add(task.x_index, runtime_s)
+    with obs.span("exec.fold"):
+        for task in tasks:
+            for per_algo in outcomes[task.task_id]:
+                for algo in algorithms:
+                    score, runtime_s = per_algo[algo]
+                    series[algo].add(task.x_index, score)
+                    runtimes[algo].add(task.x_index, runtime_s)
     axis = resolve_axis(plan.sweep.axis)
     from repro.sim.runner import sweep_metadata
 
@@ -340,6 +378,7 @@ def execute_plan(
                 cached.metadata["config"] = plan.base_config()
             report.cache = "hit"
             report.tasks_total = _grid_size(plan)
+            report.record_phases()
             return cached, report
 
     if plan.kind == "sweep":
@@ -366,4 +405,5 @@ def execute_plan(
         # them keeps a long-lived cache directory from accumulating one
         # dead file per (point, topology) per completed plan.
         store.clear_tasks(key)
+    report.record_phases()
     return result, report

@@ -45,6 +45,7 @@ import traceback
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Set
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.exec.faults import (
     ChaosPolicy,
@@ -230,6 +231,9 @@ class _RemoteRun:
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
         n = len(payloads)
+        #: Epoch stamp of each task's *first* dispatch (or degradation
+        #: start): the parent half of the queue-wait measurement.
+        self.assigned_epoch: Dict[int, float] = {}
         self.results: Dict[int, Any] = {}
         self.attempts = [0] * n
         self.pending: Deque[int] = deque(range(n))
@@ -321,7 +325,17 @@ class _RemoteRun:
                 return
             kind = message[0]
             with self.cond:
-                worker.last_seen = time.monotonic()
+                now = time.monotonic()
+                if kind == "heartbeat":
+                    # The observed gap between consecutive signs of life
+                    # is the liveness monitor's actual signal-to-noise:
+                    # gaps approaching heartbeat_timeout mean lost
+                    # workers are being declared on a hair trigger.
+                    obs.observe(
+                        "repro_exec_heartbeat_gap_seconds",
+                        now - worker.last_seen,
+                    )
+                worker.last_seen = now
                 if kind == "result":
                     _, index, value = message
                     if index not in self.results:
@@ -351,6 +365,9 @@ class _RemoteRun:
         worker.lost_reason = reason
         if not self.closing:
             self.stats.workers_lost += 1
+            obs.instant(
+                "exec.worker_lost", worker=worker.worker_id, reason=reason
+            )
         try:
             if worker.conn is not None:
                 worker.conn.close()
@@ -374,6 +391,7 @@ class _RemoteRun:
         self.attempts[index] += 1
         if self.retry.exhausted(self.attempts[index]):
             if self.retry.degrade_in_process:
+                obs.instant("exec.degraded", task=index, reason=reason)
                 self.degrade_queue.append(index)
                 return
             if self.error is None:
@@ -388,6 +406,12 @@ class _RemoteRun:
                 )
             return
         self.stats.retries += 1
+        obs.instant(
+            "exec.retry",
+            task=index,
+            attempt=self.attempts[index],
+            reason=reason,
+        )
         self.not_before[index] = time.monotonic() + self.retry.delay_s(
             self.attempts[index], index
         )
@@ -423,6 +447,12 @@ class _RemoteRun:
                 if idle is not None:
                     self.redispatched.add(index)
                     self.stats.re_dispatched += 1
+                    obs.instant(
+                        "exec.redispatch",
+                        task=index,
+                        owner=worker.worker_id,
+                        thief=idle.worker_id,
+                    )
                     self._assign(idle, index, now)
                     continue
             if age > 2 * timeout:
@@ -452,6 +482,7 @@ class _RemoteRun:
         """Mark + send one task to one worker (send failures = lost)."""
         worker.task = index
         worker.task_started_at = now
+        self.assigned_epoch.setdefault(index, time.time())
         try:
             send_frame(worker.conn, ("task", index, self.payloads[index]))
         except OSError:
@@ -494,6 +525,7 @@ class _RemoteRun:
     def _run_degraded(self, indices: List[int]) -> None:
         """Execute fallen-back tasks in-process (outside the lock)."""
         for index in indices:
+            self.assigned_epoch.setdefault(index, time.time())
             try:
                 value = self.fn(self.payloads[index])
             except BaseException as exc:
@@ -560,7 +592,7 @@ class _RemoteRun:
                     self._dispatch(now)
                     degraded = self._collect_degraded()
                     while next_yield < total and next_yield in self.results:
-                        to_yield.append(self.results[next_yield])
+                        to_yield.append((next_yield, self.results[next_yield]))
                         next_yield += 1
                     if not to_yield and not degraded:
                         self.cond.wait(tick)
@@ -568,8 +600,8 @@ class _RemoteRun:
                             raise self.error
                 if degraded:
                     self._run_degraded(degraded)
-                for value in to_yield:
-                    yield value
+                for index, value in to_yield:
+                    yield obs.absorb(value, self.assigned_epoch.get(index))
         finally:
             self._shutdown()
 
@@ -656,7 +688,11 @@ class RemoteClusterBackend:
         payloads = list(payloads)
         if not payloads:
             return iter(())
-        return _RemoteRun(self, fn, payloads).run()
+        # Workers receive the wrapped fn over the init frame and ship
+        # envelopes (result + telemetry snapshot) back as task results;
+        # the fold above absorbs them first-result-wins, so a killed
+        # worker's partial telemetry never reaches the parent.
+        return _RemoteRun(self, obs.wrap_task(fn), payloads).run()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

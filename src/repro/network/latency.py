@@ -126,7 +126,10 @@ class LatencyModel:
 
     def feasibility(self, rates: Optional[np.ndarray] = None) -> np.ndarray:
         """``I1[m,k,i]``: can server ``m`` serve (k, i) within deadline?"""
-        return self.latency(rates) <= self.deadlines[None, :, :]
+        from repro import obs
+
+        with obs.span("feasibility.dense"):
+            return self.latency(rates) <= self.deadlines[None, :, :]
 
     def expected_server_order(self) -> np.ndarray:
         """Per-user server order under *expected* rates, cached.
@@ -254,18 +257,25 @@ class LatencyModel:
         :meth:`expected_server_order`; the CSR is identical with or
         without it.
         """
-        per_bit = self.per_bit_delivery(rates)
-        num_servers, num_users = per_bit.shape
-        num_models = self.model_bits.shape[0]
-        order, sorted_pb = self._sorted_order(per_bit, server_order_hint)
-        counts = self._prefix_cuts(sorted_pb, self.deadlines, self.inference)
-        models_flat, servers_flat, users_flat = self._block_coo(counts, order)
-        return SparseFeasibility.from_coo(
-            (num_servers, num_users, num_models),
-            models=models_flat,
-            servers=servers_flat,
-            users=users_flat,
-        )
+        from repro import obs
+
+        with obs.span("feasibility.sparse"):
+            per_bit = self.per_bit_delivery(rates)
+            num_servers, num_users = per_bit.shape
+            num_models = self.model_bits.shape[0]
+            order, sorted_pb = self._sorted_order(per_bit, server_order_hint)
+            counts = self._prefix_cuts(
+                sorted_pb, self.deadlines, self.inference
+            )
+            models_flat, servers_flat, users_flat = self._block_coo(
+                counts, order
+            )
+            return SparseFeasibility.from_coo(
+                (num_servers, num_users, num_models),
+                models=models_flat,
+                servers=servers_flat,
+                users=users_flat,
+            )
 
     def feasibility_sparse_chunked(
         self,
@@ -290,24 +300,27 @@ class LatencyModel:
             raise TopologyError(
                 f"chunk_size must be positive, got {chunk_size}"
             )
-        per_bit = self.per_bit_delivery(rates)
-        num_servers, num_users = per_bit.shape
-        num_models = self.model_bits.shape[0]
-        blocks = []
-        for start in range(0, num_users, chunk_size):
-            stop = min(start + chunk_size, num_users)
-            block_pb = per_bit[:, start:stop]
-            order = np.argsort(block_pb, axis=0, kind="stable")
-            sorted_pb = np.take_along_axis(block_pb, order, axis=0)
-            counts = self._prefix_cuts(
-                sorted_pb,
-                self.deadlines[start:stop],
-                self.inference[start:stop],
+        from repro import obs
+
+        with obs.span("feasibility.sparse_chunked", chunk_size=chunk_size):
+            per_bit = self.per_bit_delivery(rates)
+            num_servers, num_users = per_bit.shape
+            num_models = self.model_bits.shape[0]
+            blocks = []
+            for start in range(0, num_users, chunk_size):
+                stop = min(start + chunk_size, num_users)
+                block_pb = per_bit[:, start:stop]
+                order = np.argsort(block_pb, axis=0, kind="stable")
+                sorted_pb = np.take_along_axis(block_pb, order, axis=0)
+                counts = self._prefix_cuts(
+                    sorted_pb,
+                    self.deadlines[start:stop],
+                    self.inference[start:stop],
+                )
+                models_flat, servers_flat, users_flat = self._block_coo(
+                    counts, order
+                )
+                blocks.append((models_flat, servers_flat, users_flat + start))
+            return SparseFeasibility.from_user_blocks(
+                (num_servers, num_users, num_models), blocks
             )
-            models_flat, servers_flat, users_flat = self._block_coo(
-                counts, order
-            )
-            blocks.append((models_flat, servers_flat, users_flat + start))
-        return SparseFeasibility.from_user_blocks(
-            (num_servers, num_users, num_models), blocks
-        )

@@ -1,0 +1,186 @@
+"""The tracing half of :mod:`repro.obs`: spans, instants, absorption.
+
+A :class:`Tracer` collects **spans** (named intervals with microsecond
+timestamps, opened by ``obs.span("solve.gen")`` context managers) and
+**instants** (point events — retries, lost workers). Records are plain
+tuples, cheap to append and picklable, so a worker process can ship its
+whole tracer back over the existing task-result pickle protocol and the
+parent can :meth:`Tracer.absorb` it.
+
+Clock: every process stamps events with ``perf_counter`` shifted by a
+per-process constant epoch offset captured at import. Within one
+process that is strictly monotonic (Chrome's per-tid requirement); and
+because the offset anchors to the shared wall clock, spans absorbed
+from workers on the same machine line up with the parent's timeline —
+absorbed spans keep their worker ``pid``/``tid``, which is what
+"re-parents" them into the merged trace as separate tracks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Tracer", "SpanHandle", "NOOP_SPAN"]
+
+#: Per-process anchor: ``perf_counter`` time zero expressed in epoch µs.
+#: Captured once at import so timestamps stay strictly monotonic within
+#: the process while remaining comparable across processes.
+_EPOCH_OFFSET_US = int((time.time() - time.perf_counter()) * 1e6)
+
+
+def now_us() -> int:
+    """Current time in epoch microseconds (monotonic per process)."""
+    return int(time.perf_counter() * 1e6) + _EPOCH_OFFSET_US
+
+
+#: Span record: (name, start_us, dur_us, pid, tid, depth, args|None)
+SpanRecord = Tuple[str, int, int, int, int, int, Optional[Dict[str, Any]]]
+#: Instant record: (name, ts_us, pid, tid, args|None)
+InstantRecord = Tuple[str, int, int, int, Optional[Dict[str, Any]]]
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled.
+
+    Supports the same surface as :class:`SpanHandle` (context manager +
+    item assignment for post-hoc annotations) so call sites need no
+    enabled/disabled branching of their own.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class SpanHandle:
+    """One open span: records on exit; ``handle["k"] = v`` annotates."""
+
+    __slots__ = ("_tracer", "_name", "_start", "_args", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[dict]):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if self._args is None:
+            self._args = {}
+        self._args[key] = value
+
+    def __enter__(self) -> "SpanHandle":
+        local = self._tracer._local
+        self._depth = getattr(local, "depth", 0)
+        local.depth = self._depth + 1
+        self._start = now_us()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        end = now_us()
+        tracer = self._tracer
+        tracer._local.depth = self._depth
+        # Chrome's B/E pairs need dur >= 1 so a span's end never sorts
+        # ahead of its own begin.
+        tracer._record_span(
+            (
+                self._name,
+                self._start,
+                max(1, end - self._start),
+                tracer.pid,
+                threading.get_ident(),
+                self._depth,
+                self._args,
+            )
+        )
+
+
+class Tracer:
+    """An append-only event collector for one process (or one task).
+
+    ``max_events`` bounds memory on very long runs: past it, new
+    records are counted in :attr:`dropped` instead of stored (the
+    bound is per record kind).
+    """
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.pid = os.getpid()
+        self.spans: List[SpanRecord] = []
+        self.instants: List[InstantRecord] = []
+        self.max_events = max_events
+        self.dropped = 0
+        self._local = threading.local()
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def span(self, name: str, args: Optional[dict] = None) -> SpanHandle:
+        """An open span handle; use as a context manager."""
+        return SpanHandle(self, name, args)
+
+    def _record_span(self, record: SpanRecord) -> None:
+        if len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return
+        self.spans.append(record)
+
+    def instant(self, name: str, args: Optional[dict] = None) -> None:
+        """Record a point event (retry, lost worker, ...)."""
+        if len(self.instants) >= self.max_events:
+            self.dropped += 1
+            return
+        self.instants.append(
+            (name, now_us(), self.pid, threading.get_ident(), args)
+        )
+
+    # -- cross-process fold --------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data (picklable) dump of every record."""
+        return {
+            "spans": list(self.spans),
+            "instants": list(self.instants),
+            "dropped": self.dropped,
+        }
+
+    def absorb(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a worker's snapshot in.
+
+        Records keep their original pid/tid (each worker renders as its
+        own track) and their epoch-anchored timestamps, so the merged
+        trace is a single consistent timeline.
+        """
+        budget = self.max_events - len(self.spans)
+        spans = snapshot.get("spans", ())
+        self.spans.extend(spans[:budget] if budget >= 0 else ())
+        self.dropped += max(0, len(spans) - max(0, budget))
+        budget = self.max_events - len(self.instants)
+        instants = snapshot.get("instants", ())
+        self.instants.extend(instants[:budget] if budget >= 0 else ())
+        self.dropped += max(0, len(instants) - max(0, budget))
+        self.dropped += snapshot.get("dropped", 0)
+
+    # -- aggregation ---------------------------------------------------
+    def phase_totals(self) -> Dict[str, Dict[str, float]]:
+        """Summed duration and count per span name.
+
+        Durations add across processes and threads, so a phase that ran
+        on N workers in parallel reports up to N× the wall-clock time —
+        this is *where the work went*, not elapsed time.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+        for name, _start, dur, _pid, _tid, _depth, _args in self.spans:
+            entry = totals.setdefault(name, {"seconds": 0.0, "count": 0})
+            entry["seconds"] += dur / 1e6
+            entry["count"] += 1
+        return totals

@@ -9,6 +9,12 @@ just :mod:`http.server`. Endpoints:
     Which server serves the request — ``{"server": m | null, "hit": …}``.
 ``GET /placement``
     The full placement as ``{server: [model indices]}``.
+``GET /metrics``
+    Prometheus text exposition (``text/plain``): the service's resolve
+    counters and hit-ratio gauge, plus — when :mod:`repro.obs` is
+    enabled in this process — everything in the global obs registry
+    (event/route latency histograms, span-derived counters). See
+    :func:`metrics_exposition`.
 ``POST /events``
     Body ``{"events": [{...}, ...]}`` (event dicts, see
     :mod:`repro.serve.events`) or a serialised :class:`EventTrace`
@@ -25,13 +31,49 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.errors import ReproError, ServeError
 from repro.serve.events import TRACE_FORMAT, Event
 from repro.serve.service import PlacementService
+
+
+def metrics_exposition(service: PlacementService) -> str:
+    """Prometheus text exposition for one service.
+
+    The service-derived metrics are rebuilt from the service's own
+    counters on every call (no sampling lag, no obs dependency):
+
+    * ``repro_serve_resolves_total{mode=...}`` — the cumulative
+      replay/fallback/full/noop counters of :meth:`PlacementService.stats`.
+    * ``repro_serve_events_processed_total`` — their sum.
+    * ``repro_serve_hit_ratio`` — the current placement's hit ratio.
+    * ``repro_serve_initial_solve_seconds`` — the cold-start solve time.
+
+    When :func:`repro.obs.metrics_enabled`, the global obs registry's
+    exposition (``repro_serve_event_seconds``/``repro_serve_route_seconds``
+    histograms, ``repro_serve_events_total`` and any solver counters) is
+    appended; its metric names are disjoint from the ones above, so the
+    combined text stays a valid exposition.
+    """
+    registry = obs.MetricsRegistry()
+    for mode, value in service.counters.items():
+        registry.counter("repro_serve_resolves_total", mode=mode).inc(value)
+    registry.counter("repro_serve_events_processed_total").inc(
+        service.events_processed
+    )
+    registry.gauge("repro_serve_hit_ratio").set(service.hit_ratio)
+    registry.gauge("repro_serve_initial_solve_seconds").set(
+        service.initial_solve_s
+    )
+    text = registry.to_prometheus()
+    if obs.metrics_enabled():
+        text += obs.registry().to_prometheus()
+    return text
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -49,6 +91,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -81,12 +131,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 params = parse_qs(parts.query)
                 user = self._int_param(params, "user")
                 model = self._int_param(params, "model")
+                started = time.perf_counter()
                 with lock:
                     result = service.route(user, model)
+                obs.observe(
+                    "repro_serve_route_seconds",
+                    time.perf_counter() - started,
+                )
                 self._reply(200, result.to_dict())
             elif parts.path == "/placement":
                 with lock:
                     self._reply(200, service.placement_dict())
+            elif parts.path == "/metrics":
+                with lock:
+                    text = metrics_exposition(service)
+                self._reply_text(200, text)
             else:
                 self._error(404, f"unknown path {parts.path!r}")
         except ReproError as exc:

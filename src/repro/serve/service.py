@@ -228,6 +228,14 @@ class PlacementService:
         greedy pass, forced a policy-mandated full solve, or touched
         nothing — the numbers an operator watches to tell whether the
         incremental path is actually carrying the load.
+
+        Counters are cumulative for the life of the service and are
+        **never reset** — not by a ``full_every``-mandated full solve,
+        not by a fallback; each event increments exactly one of them, so
+        their sum always equals ``events_processed``. The same numbers
+        are exported in Prometheus text format by the HTTP transport's
+        ``/metrics`` endpoint (:func:`repro.serve.http.metrics_exposition`)
+        as ``repro_serve_resolves_total{mode=...}``.
         """
         return {
             **self.counters,
@@ -248,56 +256,67 @@ class PlacementService:
     # ------------------------------------------------------------------
     def process(self, event: Event) -> EventResult:
         """Apply one event and re-solve (patch or full, per policy)."""
+        from repro import obs
+
         start = time.perf_counter()
-        changed, capacity_changed = apply_event(
-            self.instance, event, self._original_demand
-        )
-        if changed.size:
-            # User events touch a single demand row; telling the tracker
-            # lets it restrict the weighted resync to that row (the gain
-            # kernel still re-runs on the whole column — exact either way).
-            self.base_tracker.refresh_columns(
-                changed,
-                user=event.user
-                if event.kind in ("user_arrive", "user_depart")
-                else None,
+        with obs.span("serve.event", kind=event.kind) as span:
+            changed, capacity_changed = apply_event(
+                self.instance, event, self._original_demand
             )
-        if changed.size == 0 and not capacity_changed:
-            action = mode = "noop"
-            reused = extended = 0
-        else:
-            action = self.policy.choose(
-                self.events_processed,
-                int(changed.size),
-                self.instance.num_models,
-                capacity_changed,
-            )
-            if action == "full":
-                self.state = full_solve(
-                    self.instance, self.base_tracker, self.dedup
-                )
-                mode = "full"
-                reused, extended = 0, len(self.state.steps)
+            if changed.size:
+                # User events touch a single demand row; telling the
+                # tracker lets it restrict the weighted resync to that row
+                # (the gain kernel still re-runs on the whole column —
+                # exact either way).
+                with obs.span("serve.refresh", columns=int(changed.size)):
+                    self.base_tracker.refresh_columns(
+                        changed,
+                        user=event.user
+                        if event.kind in ("user_arrive", "user_depart")
+                        else None,
+                    )
+            if changed.size == 0 and not capacity_changed:
+                action = mode = "noop"
+                reused = extended = 0
             else:
-                self.state, info = patch_solve(
-                    self.instance,
-                    self.base_tracker,
-                    self.state,
-                    changed,
-                    self.dedup,
+                action = self.policy.choose(
+                    self.events_processed,
+                    int(changed.size),
+                    self.instance.num_models,
+                    capacity_changed,
                 )
-                mode = str(info["mode"])
-                reused = int(info["reused_steps"])
-                extended = int(info["extended_steps"])
+                if action == "full":
+                    with obs.span("serve.full_solve"):
+                        self.state = full_solve(
+                            self.instance, self.base_tracker, self.dedup
+                        )
+                    mode = "full"
+                    reused, extended = 0, len(self.state.steps)
+                else:
+                    with obs.span("serve.patch_solve"):
+                        self.state, info = patch_solve(
+                            self.instance,
+                            self.base_tracker,
+                            self.state,
+                            changed,
+                            self.dedup,
+                        )
+                    mode = str(info["mode"])
+                    reused = int(info["reused_steps"])
+                    extended = int(info["extended_steps"])
+            span["mode"] = mode
         self.counters[mode] += 1
         self.events_processed += 1
         self.hit_ratios.append(self.state.hit_ratio)
+        latency_s = time.perf_counter() - start
+        obs.observe("repro_serve_event_seconds", latency_s, mode=mode)
+        obs.count("repro_serve_events_total", 1, mode=mode)
         return EventResult(
             event=event,
             action=action,
             mode=mode,
             hit_ratio=self.state.hit_ratio,
-            latency_s=time.perf_counter() - start,
+            latency_s=latency_s,
             changed_columns=int(changed.size),
             reused_steps=reused,
             extended_steps=extended,

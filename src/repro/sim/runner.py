@@ -261,23 +261,28 @@ def _run_sweep_slice(
         sample_users,
         sample_strata,
     ) = task
+    from repro import obs
+
     outcomes: List[Dict[str, Tuple[float, float]]] = []
     for scenario_seed in scenario_seeds:
-        scenario = build_scenario(
-            config, scenario_seed, library=library, feasibility=feasibility
-        )
+        with obs.span("task.scenario_build"):
+            scenario = build_scenario(
+                config, scenario_seed, library=library, feasibility=feasibility
+            )
         per_algo: Dict[str, Tuple[float, float]] = {}
         for algo_name, solver in algorithms.items():
-            result = solver.solve(scenario.instance)
-            score = _score_result(
-                scenario,
-                result,
-                evaluation,
-                num_realizations,
-                scenario_seed,
-                sample_users,
-                sample_strata,
-            )
+            with obs.span("task.solve", algo=algo_name):
+                result = solver.solve(scenario.instance)
+            with obs.span("task.eval", evaluation=evaluation):
+                score = _score_result(
+                    scenario,
+                    result,
+                    evaluation,
+                    num_realizations,
+                    scenario_seed,
+                    sample_users,
+                    sample_strata,
+                )
             per_algo[algo_name] = (score, result.runtime_s)
         outcomes.append(per_algo)
     return outcomes

@@ -326,8 +326,11 @@ def build_scenario(
             for index, position in enumerate(user_positions)
         ]
 
+    from repro import obs
+
     topology = NetworkTopology(servers, users, channel, backhaul)
-    demand = _build_demand(config, factory.child("demand"))
+    with obs.span("scenario.demand"):
+        demand = _build_demand(config, factory.child("demand"))
 
     sizes = np.array(
         [library.model_size(i) for i in library.model_ids], dtype=float

@@ -1,0 +1,14 @@
+"""Obs suite hygiene: never leak an enabled collector across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def reset_obs():
+    obs.disable()
+    yield
+    obs.disable()

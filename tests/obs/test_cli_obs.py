@@ -1,0 +1,99 @@
+"""CLI observability flags: --obs, --trace, --profile PATH."""
+
+from __future__ import annotations
+
+import pstats
+
+import pytest
+
+from repro.cli import main
+from repro.obs import validate_chrome_trace
+
+FAST_SWEEP = [
+    "sweep",
+    "--axis",
+    "capacity",
+    "--points",
+    "4",
+    "--topologies",
+    "1",
+    "--scale",
+    "0.05",
+]
+
+
+def run_cli(capsys, *extra):
+    assert main(FAST_SWEEP + list(extra)) == 0
+    return capsys.readouterr().out
+
+
+def test_obs_flag_appends_phase_breakdown(capsys):
+    output = run_cli(capsys, "--obs")
+    assert "phases (seconds are summed across workers):" in output
+    assert "task.solve" in output
+    assert "solve.gen" in output
+
+
+def test_without_obs_no_breakdown(capsys):
+    output = run_cli(capsys)
+    assert "phases" not in output
+
+
+def test_trace_writes_valid_chrome_trace(capsys, tmp_path):
+    path = tmp_path / "trace.json"
+    output = run_cli(capsys, "--trace", str(path))
+    assert f"chrome trace written to {path}" in output
+    info = validate_chrome_trace(str(path))
+    assert info["spans"] > 0
+
+
+def test_trace_composes_with_backend_and_plan(capsys, tmp_path):
+    plan_path = tmp_path / "plan.json"
+    plan_json = run_cli(capsys, "--dry-run")
+    plan_path.write_text(plan_json)
+    trace_path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "sweep",
+                "--plan",
+                str(plan_path),
+                "--backend",
+                "process",
+                "--workers",
+                "2",
+                "--obs",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "phases (seconds are summed across workers):" in output
+    info = validate_chrome_trace(str(trace_path))
+    assert info["spans"] > 0
+
+
+def test_profile_path_writes_pstats(capsys, tmp_path):
+    path = tmp_path / "run.pstats"
+    output = run_cli(capsys, "--profile", str(path))
+    assert f"pstats profile written to {path}" in output
+    assert "cumulative" in output  # the printed top-25 table
+    assert "phases (seconds are summed across workers):" in output
+    stats = pstats.Stats(str(path))
+    assert stats.total_calls > 0
+
+
+def test_bare_profile_still_works(capsys):
+    output = run_cli(capsys, "--profile")
+    assert "cumulative" in output
+    assert "pstats profile written" not in output
+
+
+def test_serve_trace_conflicts_with_no_obs(capsys):
+    code = main(
+        ["serve", "--no-obs", "--trace", "/tmp/never.json", "--users", "8"]
+    )
+    assert code == 2
+    assert "--no-obs" in capsys.readouterr().err

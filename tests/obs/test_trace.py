@@ -1,0 +1,186 @@
+"""Tracing: spans, the runtime switch, Chrome export, the validator."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs import Tracer, chrome_trace, validate_chrome_trace
+from repro.obs.trace import NOOP_SPAN
+
+
+class TestRuntimeSwitch:
+    def test_disabled_span_is_the_shared_noop(self):
+        assert obs.span("anything") is NOOP_SPAN
+        with obs.span("anything") as handle:
+            handle["key"] = "ignored"  # must not raise
+        assert len(obs.tracer()) == 0
+
+    def test_disabled_metrics_record_nothing(self):
+        obs.count("repro_things_total")
+        obs.observe("repro_lat_seconds", 0.5)
+        assert len(obs.registry()) == 0
+
+    def test_enable_collects_and_disable_drops(self):
+        obs.enable()
+        with obs.span("phase.one"):
+            pass
+        obs.count("repro_things_total")
+        assert len(obs.tracer()) == 1
+        assert len(obs.registry()) == 1
+        obs.disable()
+        assert len(obs.tracer()) == 0
+        assert len(obs.registry()) == 0
+
+    def test_nesting_depth_recorded(self):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = {record[0]: record for record in obs.tracer().spans}
+        assert spans["outer"][5] == 0
+        assert spans["inner"][5] == 1
+        # Inner closed first and nests within outer's interval.
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer[1] <= inner[1]
+        assert inner[1] + inner[2] <= outer[1] + outer[2] or inner[2] == 1
+
+    def test_annotation_and_args(self):
+        obs.enable()
+        with obs.span("phase", engine="sparse") as handle:
+            handle["steps"] = 12
+        (record,) = obs.tracer().spans
+        assert record[6] == {"engine": "sparse", "steps": 12}
+
+    def test_traced_decorator(self):
+        obs.enable()
+
+        @obs.traced("mod.fn")
+        def fn(x):
+            return x + 1
+
+        assert fn(1) == 2
+        assert obs.tracer().spans[0][0] == "mod.fn"
+
+    def test_instants(self):
+        obs.enable()
+        obs.instant("exec.retry", task=3)
+        (record,) = obs.tracer().instants
+        assert record[0] == "exec.retry"
+        assert record[4] == {"task": 3}
+
+    def test_phase_totals_sums_per_name(self):
+        obs.enable()
+        for _ in range(3):
+            with obs.span("phase.a"):
+                pass
+        totals = obs.phase_totals()
+        assert totals["phase.a"]["count"] == 3
+        assert totals["phase.a"]["seconds"] > 0
+
+
+class TestTracerBounds:
+    def test_max_events_drops_not_grows(self):
+        tracer = Tracer(max_events=2)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_absorb_respects_budget_and_counts_drops(self):
+        parent = Tracer(max_events=3)
+        with parent.span("parent"):
+            pass
+        worker = Tracer()
+        for index in range(4):
+            with worker.span(f"w{index}"):
+                pass
+        parent.absorb(worker.snapshot())
+        assert len(parent.spans) == 3
+        assert parent.dropped == 2
+
+    def test_snapshot_is_picklable(self):
+        tracer = Tracer()
+        with tracer.span("phase", {"k": "v"}):
+            tracer.instant("tick")
+        restored = pickle.loads(pickle.dumps(tracer.snapshot()))
+        assert restored["spans"][0][0] == "phase"
+        assert restored["instants"][0][0] == "tick"
+
+
+class TestChromeExport:
+    def test_roundtrip_validates(self, tmp_path):
+        obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            obs.instant("tick")
+        with obs.span("second"):
+            pass
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(obs.tracer(), str(path))
+        info = validate_chrome_trace(str(path))
+        assert info == {"spans": 3, "instants": 1, "tracks": 1}
+
+    def test_microsecond_collapsed_spans_stay_balanced(self):
+        # Sibling spans whose start/end collapse onto the same tick are
+        # the hard case for B/E pairing: the exporter must nest or
+        # serialise them, never cross them.
+        tracer = Tracer()
+        tracer.spans = [
+            ("a", 100, 1, 1, 1, 0, None),
+            ("b", 100, 1, 1, 1, 0, None),
+            ("c", 100, 5, 1, 1, 0, None),
+            ("d", 103, 2, 1, 1, 1, None),
+        ]
+        validate_chrome_trace(chrome_trace(tracer))
+
+    def test_absorbed_worker_spans_render_as_own_track(self):
+        parent = Tracer()
+        with parent.span("exec.run"):
+            pass
+        worker = Tracer()
+        with worker.span("exec.task"):
+            pass
+        worker.pid = parent.pid + 1  # simulate another process
+        worker.spans = [
+            (name, start, dur, worker.pid, tid, depth, args)
+            for name, start, dur, _pid, tid, depth, args in worker.spans
+        ]
+        parent.absorb(worker.snapshot())
+        payload = chrome_trace(parent)
+        info = validate_chrome_trace(payload)
+        assert info["spans"] == 2
+        assert info["tracks"] == 2
+        names = {
+            event["args"]["name"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert names == {"repro parent", f"worker {worker.pid}"}
+
+    def test_validator_rejects_crossing_pairs(self):
+        events = [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 0},
+            {"name": "b", "ph": "B", "pid": 1, "tid": 1, "ts": 1},
+            {"name": "a", "ph": "E", "pid": 1, "tid": 1, "ts": 2},
+            {"name": "b", "ph": "E", "pid": 1, "tid": 1, "ts": 3},
+        ]
+        with pytest.raises(ValueError, match="crosses open span"):
+            validate_chrome_trace(events)
+
+    def test_validator_rejects_backwards_ts(self):
+        events = [
+            {"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 5},
+            {"name": "a", "ph": "E", "pid": 1, "tid": 1, "ts": 4},
+        ]
+        with pytest.raises(ValueError, match="goes backwards"):
+            validate_chrome_trace(events)
+
+    def test_validator_rejects_unbalanced(self):
+        events = [{"name": "a", "ph": "B", "pid": 1, "tid": 1, "ts": 0}]
+        with pytest.raises(ValueError, match="unbalanced"):
+            validate_chrome_trace(events)
